@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper table or figure at reduced scale
+(DESIGN.md §5): a 6x6-region grid, ~100-day span, matched budgets.
+Paper reference values are printed next to measured ones so the *shape*
+comparison (orderings, relative gaps) is visible in the bench output;
+EXPERIMENTS.md records the comparison for the checked-in run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis import ExperimentBudget
+from repro.data import CrimeDataset, load_city
+
+# Reduced-scale geometry (paper: NYC 16x16x730, CHI 14x12x731).
+ROWS, COLS, NUM_DAYS = 6, 6, 100
+WINDOW = 14
+
+# One identical budget for every trained model in a comparison.
+TRAIN_BUDGET = ExperimentBudget(window=WINDOW, epochs=5, train_limit=32, batch_size=4, seed=0)
+QUICK_BUDGET = ExperimentBudget(window=WINDOW, epochs=2, train_limit=16, batch_size=4, seed=0)
+
+
+@lru_cache(maxsize=None)
+def dataset(city: str) -> CrimeDataset:
+    """Reduced-scale synthetic dataset for a city (cached across benches)."""
+    return load_city(city, rows=ROWS, cols=COLS, num_days=NUM_DAYS, seed=0)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,122 @@
+"""Extra ablations beyond the paper's tables (DESIGN.md §6).
+
+1. InfoNCE temperature τ — the paper's gradient analysis (§III-F) implies
+   τ controls hard-negative weighting; we sweep it.
+2. Infomax corruption strategy — region shuffle (paper) vs Gaussian
+   feature noise.
+3. Learnable vs static hypergraph incidence — the core delta between
+   ST-HSL and the STSHN baseline, isolated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import default_config, train_and_evaluate
+from repro.analysis.visualization import format_table
+from repro.baselines import build_baseline
+from repro.core import STHSL
+
+from common import QUICK_BUDGET, WINDOW, dataset, print_header
+
+
+def _temperature_sweep():
+    data = dataset("nyc")
+    out = {}
+    for tau in (0.1, 0.5, 1.0, 2.0):
+        config = default_config(data, QUICK_BUDGET, temperature=tau)
+        model = STHSL(config, seed=QUICK_BUDGET.seed)
+        run = train_and_evaluate(model, data, QUICK_BUDGET)
+        out[tau] = run.evaluation.overall()
+    return out
+
+
+@pytest.mark.benchmark(group="extras")
+def test_infonce_temperature_sweep(benchmark):
+    results = benchmark.pedantic(_temperature_sweep, rounds=1, iterations=1)
+    print_header("Extra ablation — InfoNCE temperature τ (NYC, overall)")
+    rows = [[str(tau), m["mae"], m["mape"]] for tau, m in results.items()]
+    print(format_table(["tau", "MAE", "MAPE"], rows))
+    assert all(np.isfinite(m["mae"]) for m in results.values())
+
+
+def _corruption_sweep():
+    data = dataset("nyc")
+    out = {}
+    for strategy in ("shuffle", "noise"):
+        config = default_config(data, QUICK_BUDGET, corruption=strategy)
+        model = STHSL(config, seed=QUICK_BUDGET.seed)
+        run = train_and_evaluate(model, data, QUICK_BUDGET)
+        out[strategy] = run.evaluation.overall()
+    return out
+
+
+@pytest.mark.benchmark(group="extras")
+def test_infomax_corruption_strategy(benchmark):
+    results = benchmark.pedantic(_corruption_sweep, rounds=1, iterations=1)
+    print_header("Extra ablation — infomax corruption strategy (NYC, overall)")
+    rows = [[name, m["mae"], m["mape"]] for name, m in results.items()]
+    print(format_table(["corruption", "MAE", "MAPE"], rows))
+    assert all(np.isfinite(m["mae"]) for m in results.values())
+
+
+def _hyperedge_sparsity_interaction():
+    """How hyperedge count interacts with region sparsity: the global
+    channel should matter most for sparse regions (they have the least
+    local signal to learn from)."""
+    data = dataset("nyc")
+    out = {}
+    for num_hyperedges in (4, 32):
+        config = default_config(data, QUICK_BUDGET, num_hyperedges=num_hyperedges)
+        model = STHSL(config, seed=QUICK_BUDGET.seed)
+        run = train_and_evaluate(model, data, QUICK_BUDGET)
+        cohorts = run.evaluation.by_density(data.tensor)
+        sparse = np.nanmean(
+            [m["mae"] for m in cohorts[(0.0, 0.25)].values()]
+        )
+        out[num_hyperedges] = {
+            "overall": run.evaluation.overall()["mae"],
+            "sparse_cohort": float(sparse),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="extras")
+def test_hyperedge_count_vs_sparsity(benchmark):
+    results = benchmark.pedantic(_hyperedge_sparsity_interaction, rounds=1, iterations=1)
+    print_header("Extra ablation — hyperedge count x region sparsity (NYC, MAE)")
+    rows = [
+        [str(h), m["overall"], m["sparse_cohort"]] for h, m in results.items()
+    ]
+    print(format_table(["hyperedges", "overall", "sparse cohort"], rows))
+    assert all(np.isfinite(m["overall"]) for m in results.values())
+
+
+def _hypergraph_comparison():
+    data = dataset("nyc")
+    out = {}
+    # Learnable incidence (ST-HSL without SSL, isolating the structure).
+    config = default_config(data, QUICK_BUDGET, use_infomax=False, use_contrastive=False)
+    model = STHSL(config, seed=QUICK_BUDGET.seed)
+    out["learnable incidence (no SSL)"] = train_and_evaluate(
+        model, data, QUICK_BUDGET
+    ).evaluation.overall()
+    # Full ST-HSL (learnable incidence + dual-stage SSL).
+    full = STHSL(default_config(data, QUICK_BUDGET), seed=QUICK_BUDGET.seed)
+    out["learnable incidence + SSL"] = train_and_evaluate(
+        full, data, QUICK_BUDGET
+    ).evaluation.overall()
+    # Static incidence (STSHN).
+    stshn = build_baseline("STSHN", data, window=WINDOW, hidden=8, seed=QUICK_BUDGET.seed)
+    out["static incidence (STSHN)"] = train_and_evaluate(
+        stshn, data, QUICK_BUDGET
+    ).evaluation.overall()
+    return out
+
+
+@pytest.mark.benchmark(group="extras")
+def test_learnable_vs_static_hypergraph(benchmark):
+    results = benchmark.pedantic(_hypergraph_comparison, rounds=1, iterations=1)
+    print_header("Extra ablation — hypergraph structure (NYC, overall)")
+    rows = [[name, m["mae"], m["mape"]] for name, m in results.items()]
+    print(format_table(["variant", "MAE", "MAPE"], rows))
+    assert all(np.isfinite(m["mae"]) for m in results.values())

@@ -1,0 +1,33 @@
+"""Figure 1 — distribution of crime-sequence density degrees.
+
+Regenerates the density-degree histograms for NYC and Chicago at full
+paper scale and checks the headline property: most regions' crime
+sequences fall in the sparsest bucket (0, 0.25].
+"""
+
+import pytest
+
+from repro.data import density_histogram, load_city
+from repro.analysis import format_density_histogram
+
+from common import print_header
+
+
+def _histograms():
+    out = {}
+    for city in ("nyc", "chicago"):
+        data = load_city(city, seed=0)
+        out[city] = (density_histogram(data.tensor), data.categories)
+    return out
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_density_degree_distribution(benchmark):
+    results = benchmark.pedantic(_histograms, rounds=1, iterations=1)
+    print_header("Figure 1 — density degree distribution (fraction of regions)")
+    for city, (hist, categories) in results.items():
+        print(f"\n{city.upper()}")
+        print(format_density_histogram(hist["edges"], hist["counts"], categories))
+        # Paper's claim: the lowest bucket dominates for most categories.
+        lowest_bucket = hist["counts"][0]
+        assert (lowest_bucket > 0.4).sum() >= len(categories) - 1

@@ -1,0 +1,41 @@
+"""Figure 2 — skewed (power-law-like) crime distribution across regions.
+
+Regenerates the rank-frequency curve of monthly crime counts per region
+(the paper uses September 2015 NYC) and verifies heavy-tail shape: the
+top decile of regions holds a disproportionate share, and the curve
+decays steeply from its head.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_city
+
+from common import print_header
+
+
+def _rank_frequency():
+    data = load_city("nyc", seed=0)
+    # One-month slice, as in the paper's Figure 2 (a 30-day window).
+    month = data.tensor[:, 600:630, :]
+    per_region = month.sum(axis=1)  # (R, C)
+    curves = {}
+    for index, name in enumerate(data.categories):
+        counts = np.sort(per_region[:, index])[::-1]
+        curves[name] = counts
+    return curves
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_skewed_distribution(benchmark):
+    curves = benchmark.pedantic(_rank_frequency, rounds=1, iterations=1)
+    print_header("Figure 2 — monthly crime count by region rank (NYC)")
+    for name, counts in curves.items():
+        total = counts.sum()
+        top_decile = counts[: max(len(counts) // 10, 1)].sum() / max(total, 1)
+        head = ", ".join(str(int(v)) for v in counts[:8])
+        print(f"  {name:10s} top-decile share={top_decile:.2f}  head=[{head}, ...]")
+        # Heavy tail: 10% of regions account for far more than 10% of crime.
+        assert top_decile > 0.15
+        # Monotone decay with a steep head: max >> median.
+        assert counts[0] >= 3 * max(np.median(counts), 1)

@@ -1,0 +1,36 @@
+"""Figure 5 — ablation of the multi-view spatial-temporal convolutions.
+
+Trains w/o S-Conv, w/o T-Conv, w/o C-Conv, w/o Local and full ST-HSL on
+both cities; prints per-category MAE and MAPE (the figure's two panels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MULTIVIEW_VARIANTS, run_ablation
+from repro.analysis.visualization import format_table
+
+from common import TRAIN_BUDGET, dataset, print_header
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("city", ["nyc", "chicago"])
+def test_fig5_multiview_ablation(benchmark, city):
+    data = dataset(city)
+    results = benchmark.pedantic(
+        run_ablation, args=(data, MULTIVIEW_VARIANTS, TRAIN_BUDGET), rounds=1, iterations=1
+    )
+    categories = data.categories
+    for metric in ("mae", "mape"):
+        print_header(f"Figure 5 — multi-view ablation, {city.upper()} ({metric.upper()})")
+        headers = ["Variant"] + list(categories)
+        rows = [
+            [name] + [results[name][c][metric] for c in categories]
+            for name in MULTIVIEW_VARIANTS
+        ]
+        print(format_table(headers, rows))
+
+    for name in MULTIVIEW_VARIANTS:
+        for category in categories:
+            assert np.isfinite(results[name][category]["mae"])
+            assert np.isfinite(results[name][category]["mape"])

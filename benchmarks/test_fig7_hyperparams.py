@@ -1,0 +1,31 @@
+"""Figure 7 — hyperparameter impact study (RQ4).
+
+Sweeps the five knobs of the paper's Figure 7 (hidden units, hyperedge
+count, kernel size, local conv depth, global conv depth) one at a time
+on the reduced-scale NYC dataset and prints MAE/MAPE per setting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SWEEPS, run_hyperparameter_study
+from repro.analysis.visualization import format_table
+
+from common import QUICK_BUDGET, dataset, print_header
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_hyperparameter_study(benchmark):
+    data = dataset("nyc")
+    results = benchmark.pedantic(
+        run_hyperparameter_study, args=(data, QUICK_BUDGET), rounds=1, iterations=1
+    )
+    print_header("Figure 7 — hyperparameter study, NYC (overall masked MAE/MAPE)")
+    for panel, per_value in results.items():
+        field, _values = SWEEPS[panel]
+        print(f"\n({panel} -> config.{field})")
+        headers = [field, "MAE", "MAPE"]
+        rows = [[str(v), m["mae"], m["mape"]] for v, m in per_value.items()]
+        print(format_table(headers, rows))
+        for m in per_value.values():
+            assert np.isfinite(m["mae"]) and np.isfinite(m["mape"])

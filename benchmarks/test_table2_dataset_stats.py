@@ -1,0 +1,33 @@
+"""Table II — dataset statistics.
+
+Regenerates the per-category case counts for both cities at full paper
+scale and verifies the synthetic generators are calibrated to Table II's
+volumes (within Poisson sampling noise).
+"""
+
+import pytest
+
+from repro.data import CITY_CONFIGS, load_city
+
+from common import print_header
+
+
+def _generate_stats():
+    stats = {}
+    for city in ("nyc", "chicago"):
+        data = load_city(city, seed=0)  # full Table II scale
+        stats[city] = data.category_totals()
+    return stats
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_statistics(benchmark):
+    stats = benchmark.pedantic(_generate_stats, rounds=1, iterations=1)
+    print_header("Table II — dataset statistics (paper vs generated)")
+    for city, totals in stats.items():
+        config = CITY_CONFIGS[city]
+        print(f"\n{city.upper()}  (span: {config.num_days} days, {config.num_regions} regions)")
+        for name, expected in zip(config.categories, config.total_cases):
+            observed = totals[name]
+            print(f"  {name:10s} paper={expected:>8,d}  generated={observed:>8,d}")
+            assert observed == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,50 @@
+"""Table IV — ablation of the dual-stage self-supervised learning paradigm.
+
+Trains the paper's seven SSL variants (w/o Hyper, w/o GlobalTem,
+w/o Infomax, w/o ConL, w/o Global, Fusion w/o ConL, full ST-HSL) on
+both cities under one budget and prints per-category MAE in the paper's
+layout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SSL_VARIANTS, run_ablation
+from repro.analysis.visualization import format_table
+
+from common import TRAIN_BUDGET, dataset, print_header
+
+# Paper Table IV MAE values for reference (NYC block).
+PAPER_NYC = {
+    "w/o Hyper": (0.7929, 1.0380, 0.8567, 0.9010),
+    "w/o GlobalTem": (0.8531, 1.0866, 0.9226, 0.9285),
+    "w/o Infomax": (0.7512, 1.0382, 0.8338, 0.8603),
+    "w/o ConL": (0.8938, 1.0757, 0.9345, 0.9529),
+    "w/o Global": (0.7876, 1.0583, 0.8740, 0.9472),
+    "Fusion w/o ConL": (0.7939, 1.0438, 0.8551, 0.8877),
+    "ST-HSL": (0.7329, 1.0316, 0.7912, 0.8484),
+}
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("city", ["nyc", "chicago"])
+def test_table4_ssl_ablation(benchmark, city):
+    data = dataset(city)
+    results = benchmark.pedantic(
+        run_ablation, args=(data, SSL_VARIANTS, TRAIN_BUDGET), rounds=1, iterations=1
+    )
+    categories = data.categories
+    print_header(f"Table IV — SSL ablation, {city.upper()} (masked MAE)")
+    headers = ["Variant"] + list(categories)
+    rows = [
+        [name] + [results[name][c]["mae"] for c in categories] for name in SSL_VARIANTS
+    ]
+    print(format_table(headers, rows))
+    if city == "nyc":
+        print("\nPaper reference (NYC, full scale):")
+        for name, values in PAPER_NYC.items():
+            print(f"  {name:16s} " + "  ".join(f"{v:.4f}" for v in values))
+
+    for name in SSL_VARIANTS:
+        for category in categories:
+            assert np.isfinite(results[name][category]["mae"])

@@ -1,0 +1,55 @@
+"""Baseline comparison: a miniature Table III.
+
+Trains ST-HSL against a representative subset of the paper's fifteen
+baselines (one per family: classical, CNN, GNN, attention, hypergraph)
+under an identical budget and prints a ranked table.
+
+Usage::
+
+    python examples/compare_baselines.py [city]   # city: nyc | chicago
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import ExperimentBudget, make_sthsl, train_and_evaluate
+from repro.analysis.visualization import format_table
+from repro.baselines import build_baseline
+from repro.data import load_city
+
+# One representative per baseline family (run the full fifteen via
+# `pytest benchmarks/test_table3_overall.py`).
+MODELS = ("ARIMA", "SVM", "ST-ResNet", "STGCN", "DeepCrime", "STSHN")
+
+
+def main(city: str = "nyc") -> None:
+    dataset = load_city(city, rows=6, cols=6, num_days=120, seed=0)
+    budget = ExperimentBudget(window=14, epochs=4, train_limit=30, batch_size=4, seed=0)
+    print(f"city={city}  regions={dataset.num_regions}  days={dataset.num_days}")
+
+    scores: dict[str, dict] = {}
+    for name in MODELS:
+        model = build_baseline(name, dataset, window=budget.window, hidden=8, seed=0)
+        run = train_and_evaluate(model, dataset, budget)
+        scores[name] = run.evaluation.overall()
+        print(f"trained {name:12s} MAE={scores[name]['mae']:.4f}")
+
+    sthsl = make_sthsl(dataset, budget)
+    run = train_and_evaluate(sthsl, dataset, budget)
+    scores["ST-HSL"] = run.evaluation.overall()
+    print(f"trained {'ST-HSL':12s} MAE={scores['ST-HSL']['mae']:.4f}")
+
+    ranked = sorted(scores.items(), key=lambda kv: kv[1]["mae"])
+    print("\nranking (overall masked MAE, lower is better):")
+    rows = [[i + 1, name, s["mae"], s["mape"]] for i, (name, s) in enumerate(ranked)]
+    print(format_table(["#", "model", "MAE", "MAPE"], rows))
+
+    best = ranked[0][0]
+    gap = scores[best]["mae"] / scores["ST-HSL"]["mae"]
+    print(f"\nbest model: {best}  (ST-HSL relative gap: {gap:.3f})")
+    assert all(np.isfinite(s["mae"]) for s in scores.values())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "nyc")

@@ -1,0 +1,100 @@
+"""Real-data ingestion: from a city open-data portal export to a model.
+
+Shows the path a user with *real* crime data takes.  Since this demo has
+no network access, it first fabricates a CSV in the exact NYPD Complaint
+Data Historic schema, then treats it as a real download:
+
+1. parse the portal CSV (schema quirks, dirty rows and all),
+2. build a CrimeDataset via ``dataset_from_events``,
+3. train ST-HSL on it and report test metrics.
+
+Usage::
+
+    python examples/real_data_ingestion.py
+"""
+
+import csv
+import tempfile
+from pathlib import Path
+
+from repro.core import STHSL, STHSLConfig
+from repro.data import (
+    NYC_CONFIG,
+    ParseReport,
+    SyntheticCrimeGenerator,
+    dataset_from_events,
+    parse_nyc_complaints,
+)
+from repro.training import Trainer, WindowDataset, evaluate_model
+
+REVERSE_OFFENSE = {
+    "Burglary": "BURGLARY",
+    "Larceny": "GRAND LARCENY",
+    "Robbery": "ROBBERY",
+    "Assault": "FELONY ASSAULT",
+}
+
+
+def fabricate_portal_export(path: Path, config) -> int:
+    """Write a synthetic NYPD-schema CSV (standing in for a download)."""
+    generator = SyntheticCrimeGenerator(config, seed=0)
+    events = generator.generate_events()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["CMPLNT_FR_DT", "CMPLNT_FR_TM", "OFNS_DESC", "Latitude", "Longitude"])
+        for event in events:
+            writer.writerow(
+                [
+                    event.timestamp.strftime("%m/%d/%Y"),
+                    event.timestamp.strftime("%H:%M:%S"),
+                    REVERSE_OFFENSE[event.category],
+                    f"{event.latitude:.6f}",
+                    f"{event.longitude:.6f}",
+                ]
+            )
+        # A little portal dirt, as found in real exports.
+        writer.writerow(["01/15/2014", "12:00:00", "JOSTLING", "40.7", "-73.9"])
+        writer.writerow(["01/16/2014", "12:00:00", "ROBBERY", "", ""])
+        writer.writerow(["bad-date", "12:00:00", "ROBBERY", "40.7", "-73.9"])
+    return len(events) + 3
+
+
+def main() -> None:
+    config = NYC_CONFIG.scaled(rows=6, cols=6, num_days=120)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "nypd_complaints.csv"
+        total_rows = fabricate_portal_export(path, config)
+        print(f"portal export: {total_rows:,} rows at {path.name}")
+
+        # 1. Parse with keep/drop accounting.
+        report = ParseReport()
+        events = list(parse_nyc_complaints(path, report=report))
+        print(
+            f"parsed {report.parsed:,} events; skipped "
+            f"{report.skipped_offense} unknown-offense, "
+            f"{report.skipped_coordinates} bad-coordinate, "
+            f"{report.skipped_date} bad-date rows"
+        )
+        print(f"per-category: {report.offense_counts}")
+
+    # 2. Dataset assembly (grid mapping, split, z-score stats).
+    dataset = dataset_from_events(events, config)
+    print(f"dataset tensor: {dataset.tensor.shape}, cases={int(dataset.tensor.sum()):,}")
+
+    # 3. Train and evaluate ST-HSL exactly as with synthetic data.
+    model_config = STHSLConfig(
+        rows=config.rows, cols=config.cols, num_categories=4,
+        window=14, dim=8, num_hyperedges=32, num_global_temporal_layers=2,
+    )
+    model = STHSL(model_config, seed=0)
+    windows = WindowDataset(dataset, window=14)
+    Trainer(model, lr=1e-3, seed=0).fit(windows, epochs=3, train_limit=24, verbose=True)
+    evaluation = evaluate_model(model, windows)
+    print("\ntest metrics (masked):")
+    for category, metrics in evaluation.per_category().items():
+        print(f"  {category:10s} MAE={metrics['mae']:.4f}  MAPE={metrics['mape']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

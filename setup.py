@@ -1,0 +1,9 @@
+"""Thin setup shim: metadata lives in pyproject.toml.
+
+Kept so editable installs work in offline environments whose setuptools
+lacks the ``wheel`` package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Ablation variant factory (paper Table IV and Figure 5).
+
+Each named variant maps to a set of :class:`STHSLConfig` switch
+overrides.  The names match the paper's rows exactly.
+"""
+
+from __future__ import annotations
+
+from ..core import STHSL, STHSLConfig
+from ..data.datasets import CrimeDataset
+from .experiment import ExperimentBudget, default_config, train_and_evaluate
+
+__all__ = [
+    "MULTIVIEW_VARIANTS",
+    "SSL_VARIANTS",
+    "variant_config",
+    "run_ablation",
+]
+
+# Figure 5: multi-view spatial-temporal convolution ablations.
+MULTIVIEW_VARIANTS: dict[str, dict] = {
+    "w/o S-Conv": {"use_spatial_conv": False},
+    "w/o T-Conv": {"use_temporal_conv": False},
+    "w/o C-Conv": {"cross_category": False},
+    "w/o Local": {
+        # Removing the local encoder also removes the contrastive pairing
+        # (it needs both views).
+        "use_local": False,
+        "use_contrastive": False,
+    },
+    "ST-HSL": {},
+}
+
+# Table IV: dual-stage self-supervised learning ablations.
+SSL_VARIANTS: dict[str, dict] = {
+    "w/o Hyper": {
+        # No hypergraph at all -> no global branch, no SSL stages.
+        "use_hypergraph": False,
+        "use_global": False,
+        "use_infomax": False,
+        "use_contrastive": False,
+    },
+    "w/o GlobalTem": {"use_global_temporal": False},
+    "w/o Infomax": {"use_infomax": False},
+    "w/o ConL": {"use_contrastive": False},
+    "w/o Global": {
+        # Keep the hypergraph SSL machinery but predict from the local
+        # encoder only (paper variant 5).
+        "use_global": False,
+        "use_contrastive": False,
+    },
+    "Fusion w/o ConL": {"fusion": True, "use_contrastive": False},
+    "ST-HSL": {},
+}
+
+
+def variant_config(
+    name: str,
+    dataset: CrimeDataset,
+    budget: ExperimentBudget,
+    **extra,
+) -> STHSLConfig:
+    """Config for a named paper variant (searched in both tables)."""
+    for table in (SSL_VARIANTS, MULTIVIEW_VARIANTS):
+        if name in table:
+            overrides = dict(table[name])
+            overrides.update(extra)
+            return default_config(dataset, budget, **overrides)
+    raise KeyError(f"unknown ablation variant {name!r}")
+
+
+def run_ablation(
+    dataset: CrimeDataset,
+    variants: dict[str, dict],
+    budget: ExperimentBudget,
+    **config_overrides,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Train and evaluate every variant; returns per-variant Table IV rows.
+
+    Output: ``{variant: {category: {"mae": ..., "mape": ...}}}``.
+    """
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for name, overrides in variants.items():
+        merged = dict(overrides)
+        merged.update(config_overrides)
+        config = default_config(dataset, budget, **merged)
+        model = STHSL(config, seed=budget.seed)
+        run = train_and_evaluate(model, dataset, budget)
+        results[name] = run.evaluation.per_category()
+    return results

@@ -1,0 +1,96 @@
+"""Shared experiment protocol: build → train → evaluate under one budget.
+
+All benchmark tables/figures route through :func:`train_and_evaluate`, so
+every compared model gets the identical optimiser, epoch count and data
+budget (the fairness requirement of paper §IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import STHSL, STHSLConfig
+from ..data.datasets import CrimeDataset
+from ..training import EvaluationResult, Trainer, WindowDataset, evaluate_model
+
+__all__ = ["ExperimentBudget", "train_and_evaluate", "make_sthsl", "default_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentBudget:
+    """Training budget shared by every model in a comparison."""
+
+    window: int = 14
+    epochs: int = 4
+    train_limit: int | None = 40  # windows per epoch (reduced-scale protocol)
+    batch_size: int = 4
+    lr: float = 1e-3
+    weight_decay: float = 1e-5
+    patience: int | None = None
+    seed: int = 0
+
+
+def default_config(dataset: CrimeDataset, budget: ExperimentBudget, **overrides) -> STHSLConfig:
+    """ST-HSL config bound to a dataset's geometry at bench scale.
+
+    Bench-scale defaults shrink capacity with the data (dim 8, 32
+    hyperedges); pass explicit overrides to restore paper scale.
+    """
+    base = dict(
+        rows=dataset.grid.rows,
+        cols=dataset.grid.cols,
+        num_categories=dataset.num_categories,
+        window=budget.window,
+        dim=8,
+        num_hyperedges=32,
+        num_global_temporal_layers=2,
+    )
+    base.update(overrides)
+    return STHSLConfig(**base)
+
+
+def make_sthsl(dataset: CrimeDataset, budget: ExperimentBudget, **overrides) -> STHSL:
+    return STHSL(default_config(dataset, budget, **overrides), seed=budget.seed)
+
+
+@dataclass
+class ExperimentRun:
+    """Everything a bench needs to print one table row."""
+
+    evaluation: EvaluationResult
+    epoch_seconds: list[float] = field(default_factory=list)
+    best_val_mae: float = float("nan")
+
+
+def train_and_evaluate(
+    model,
+    dataset: CrimeDataset,
+    budget: ExperimentBudget,
+    split: str = "test",
+) -> ExperimentRun:
+    """Train ``model`` under ``budget`` and evaluate on ``split``.
+
+    Statistical baselines (``requires_training = False``) skip the
+    gradient loop and go straight to evaluation.
+    """
+    windows = WindowDataset(dataset, window=budget.window)
+    epoch_seconds: list[float] = []
+    best_val = float("nan")
+    if getattr(model, "requires_training", True):
+        trainer = Trainer(
+            model,
+            lr=budget.lr,
+            weight_decay=budget.weight_decay,
+            batch_size=budget.batch_size,
+            seed=budget.seed,
+        )
+        result = trainer.fit(
+            windows,
+            epochs=budget.epochs,
+            patience=budget.patience,
+            train_limit=budget.train_limit,
+        )
+        epoch_seconds = result.epoch_seconds
+        best_val = result.best_val_mae
+    evaluation = evaluate_model(model, windows, split=split)
+    return ExperimentRun(evaluation=evaluation, epoch_seconds=epoch_seconds, best_val_mae=best_val)

@@ -1,0 +1,125 @@
+"""Statistical comparison of forecasting models.
+
+The paper reports point estimates; a credible reproduction should also
+say whether gaps are noise.  This module provides the standard
+time-series comparison toolkit:
+
+* paired per-day error series for two models,
+* paired t-test and Wilcoxon signed-rank test (via scipy),
+* bootstrap confidence intervals for a model's metric and for the
+  difference between two models.
+
+All tests operate on *per-day* masked MAE, the paper's reporting unit
+("averaged over all days in the test period").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..training.evaluation import EvaluationResult
+from ..training.metrics import masked_mae
+
+__all__ = [
+    "daily_errors",
+    "paired_comparison",
+    "bootstrap_ci",
+    "ComparisonResult",
+]
+
+
+def daily_errors(evaluation: EvaluationResult, category: int | None = None) -> np.ndarray:
+    """Per-test-day masked MAE series ``(D,)`` for one evaluation.
+
+    Days where the (category-sliced) target is all-zero yield NaN and are
+    dropped by the comparison helpers.
+    """
+    preds = evaluation.predictions
+    targets = evaluation.targets
+    if category is not None:
+        preds = preds[:, :, category]
+        targets = targets[:, :, category]
+    return np.array([masked_mae(p, t) for p, t in zip(preds, targets)])
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of a paired model comparison on per-day errors."""
+
+    mean_a: float
+    mean_b: float
+    mean_difference: float  # a - b; negative means A is better
+    t_statistic: float
+    t_pvalue: float
+    wilcoxon_statistic: float
+    wilcoxon_pvalue: float
+    num_days: int
+
+    @property
+    def a_better(self) -> bool:
+        return self.mean_difference < 0
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Both tests agree the gap is unlikely under the null."""
+        return self.t_pvalue < alpha and self.wilcoxon_pvalue < alpha
+
+
+def paired_comparison(
+    eval_a: EvaluationResult,
+    eval_b: EvaluationResult,
+    category: int | None = None,
+) -> ComparisonResult:
+    """Paired t-test + Wilcoxon signed-rank on per-day masked MAE.
+
+    Both evaluations must cover the same test days (same dataset/split).
+    """
+    errors_a = daily_errors(eval_a, category)
+    errors_b = daily_errors(eval_b, category)
+    if errors_a.shape != errors_b.shape:
+        raise ValueError("evaluations cover different numbers of test days")
+    valid = ~(np.isnan(errors_a) | np.isnan(errors_b))
+    a, b = errors_a[valid], errors_b[valid]
+    if a.size < 2:
+        raise ValueError("need at least 2 valid test days for a paired test")
+    differences = a - b
+    if np.allclose(differences, 0.0):
+        t_stat, t_p = 0.0, 1.0
+        w_stat, w_p = 0.0, 1.0
+    else:
+        t_stat, t_p = stats.ttest_rel(a, b)
+        w_stat, w_p = stats.wilcoxon(a, b)
+    return ComparisonResult(
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+        mean_difference=float(differences.mean()),
+        t_statistic=float(t_stat),
+        t_pvalue=float(t_p),
+        wilcoxon_statistic=float(w_stat),
+        wilcoxon_pvalue=float(w_p),
+        num_days=int(a.size),
+    )
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Percentile bootstrap CI for the mean of ``values``.
+
+    Returns ``(mean, low, high)``; NaNs are dropped first.
+    """
+    values = np.asarray(values, dtype=float)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise ValueError("no finite values to bootstrap")
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(values, size=(num_resamples, values.size), replace=True)
+    means = resamples.mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return float(values.mean()), float(low), float(high)

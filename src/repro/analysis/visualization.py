@@ -1,0 +1,74 @@
+"""Text rendering of spatial results (Figures 1, 4 and 8 analogues).
+
+This environment has no plotting stack, so figures are reproduced as
+data: ASCII heat maps over the region grid and aligned text tables.  The
+numbers are the figure; the rendering is a convenience.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "format_table", "format_density_histogram"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, rows: int, cols: int, title: str = "") -> str:
+    """Render a per-region vector as an ASCII heat map of the city grid.
+
+    NaNs (regions with no data) render as ``'?'``.  Values are min-max
+    normalised over the finite entries.
+    """
+    values = np.asarray(values, dtype=float).reshape(rows, cols)
+    finite = values[np.isfinite(values)]
+    lines = [title] if title else []
+    if finite.size == 0:
+        low, high = 0.0, 1.0
+    else:
+        low, high = float(finite.min()), float(finite.max())
+    span = (high - low) or 1.0
+    for r in range(rows - 1, -1, -1):  # row 0 is the southern edge
+        chars = []
+        for c in range(cols):
+            v = values[r, c]
+            if not np.isfinite(v):
+                chars.append("?")
+            else:
+                level = int((v - low) / span * (len(_SHADES) - 1))
+                chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Aligned text table; floats are formatted, everything else str()'d."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [float_format.format(v) if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def _line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out = [_line(headers), _line(["-" * w for w in widths])]
+    out.extend(_line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def format_density_histogram(edges: np.ndarray, counts: np.ndarray, categories: tuple[str, ...]) -> str:
+    """Figure 1 as a table: fraction of regions per density bucket."""
+    headers = ["density"] + list(categories)
+    rows = []
+    for i in range(len(edges) - 1):
+        label = f"({edges[i]:.2f}, {edges[i+1]:.2f}]"
+        rows.append([label] + [float(counts[i, c]) for c in range(counts.shape[1])])
+    return format_table(headers, rows, float_format="{:.3f}")

@@ -1,0 +1,121 @@
+"""``repro.baselines`` — the fifteen comparison models of Table III.
+
+``build_baseline`` constructs any of them from a dataset's geometry with
+matched capacity, so the benchmark harness can iterate the whole zoo
+under one budget.  Names match the paper's Table III rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import CrimeDataset
+from .agcrn import AGCRN
+from .arima import ARIMA
+from .base import GatedTemporalConv, GraphConv, StatisticalBaseline
+from .dcrnn import DCRNN
+from .deepcrime import DeepCrime
+from .dmstgcn import DMSTGCN
+from .gman import GMAN
+from .gwn import GraphWaveNet
+from .historical_average import HistoricalAverage
+from .mtgnn import MTGNN
+from .st_metanet import STMetaNet
+from .st_resnet import STResNet
+from .stdn import STDN
+from .stgcn import STGCN
+from .stshn import STSHN
+from .sttrans import STtrans
+from .svr import SVR
+
+__all__ = [
+    "ARIMA",
+    "SVR",
+    "HistoricalAverage",
+    "STResNet",
+    "DCRNN",
+    "STGCN",
+    "GraphWaveNet",
+    "STtrans",
+    "DeepCrime",
+    "STDN",
+    "STMetaNet",
+    "GMAN",
+    "AGCRN",
+    "MTGNN",
+    "STSHN",
+    "DMSTGCN",
+    "StatisticalBaseline",
+    "GraphConv",
+    "GatedTemporalConv",
+    "BASELINE_NAMES",
+    "build_baseline",
+]
+
+# Table III row order.
+BASELINE_NAMES: tuple[str, ...] = (
+    "ARIMA",
+    "SVM",
+    "ST-ResNet",
+    "DCRNN",
+    "STGCN",
+    "GWN",
+    "STtrans",
+    "DeepCrime",
+    "STDN",
+    "ST-MetaNet",
+    "GMAN",
+    "AGCRN",
+    "MTGNN",
+    "STSHN",
+    "DMSTGCN",
+)
+
+
+def build_baseline(
+    name: str,
+    dataset: CrimeDataset,
+    window: int,
+    hidden: int = 16,
+    seed: int = 0,
+):
+    """Instantiate a Table III baseline for ``dataset``'s geometry."""
+    grid = dataset.grid
+    regions = dataset.num_regions
+    categories = dataset.num_categories
+    adjacency = grid.adjacency_matrix()
+    normalized = grid.normalized_adjacency()
+
+    if name == "ARIMA":
+        return ARIMA()
+    if name == "SVM":
+        return SVR(window=window, num_categories=categories, seed=seed)
+    if name == "HA":
+        return HistoricalAverage()
+    if name == "ST-ResNet":
+        return STResNet(grid.rows, grid.cols, categories, window, hidden=hidden, seed=seed)
+    if name == "DCRNN":
+        return DCRNN(adjacency, categories, hidden=hidden, seed=seed)
+    if name == "STGCN":
+        return STGCN(normalized, categories, window, hidden=hidden, seed=seed)
+    if name == "GWN":
+        return GraphWaveNet(adjacency, categories, hidden=hidden, seed=seed)
+    if name == "STtrans":
+        return STtrans(regions, categories, window, dim=hidden, seed=seed)
+    if name == "DeepCrime":
+        return DeepCrime(regions, categories, hidden=hidden, seed=seed)
+    if name == "STDN":
+        return STDN(grid.rows, grid.cols, categories, window, hidden=hidden, seed=seed)
+    if name == "ST-MetaNet":
+        return STMetaNet(regions, categories, hidden=hidden, seed=seed)
+    if name == "GMAN":
+        return GMAN(regions, categories, window, dim=hidden, seed=seed)
+    if name == "AGCRN":
+        return AGCRN(regions, categories, hidden=hidden, seed=seed)
+    if name == "MTGNN":
+        return MTGNN(regions, categories, hidden=hidden, seed=seed)
+    if name == "STSHN":
+        return STSHN(normalized, categories, hidden=hidden, num_hyperedges=128, seed=seed)
+    if name == "DMSTGCN":
+        return DMSTGCN(regions, categories, hidden=hidden, seed=seed)
+    raise KeyError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES + ('HA',)}")

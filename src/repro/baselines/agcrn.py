@@ -1,0 +1,88 @@
+"""AGCRN baseline (Bai et al. — NeurIPS 2020).
+
+Adaptive Graph Convolutional Recurrent Network: GRU gates built from
+*node-adaptive* graph convolutions.  The adjacency is inferred from
+learnable node embeddings (``softmax(relu(E Eᵀ))``) and — AGCRN's other
+signature — layer weights are *generated per node* from those same
+embeddings (node-adaptive parameter learning), rather than shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from ..training.interface import ForecastModel
+
+__all__ = ["AGCRN"]
+
+
+class _NAPLConv(nn.Module):
+    """Node-adaptive graph convolution: weights generated from embeddings."""
+
+    def __init__(self, embed_dim: int, in_dim: int, out_dim: int, rng):
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        # Weight pool: each node's weight = E_r @ pool.
+        self.weight_pool = nn.Parameter(nn.init.xavier_uniform((embed_dim, 2 * in_dim * out_dim), rng))
+        self.bias_pool = nn.Parameter(nn.init.xavier_uniform((embed_dim, out_dim), rng))
+
+    def forward(self, x: Tensor, node_embed: Tensor, adjacency: Tensor) -> Tensor:
+        """``x``: (R, in_dim) -> (R, out_dim)."""
+        r = x.shape[0]
+        propagated = adjacency @ x  # (R, in_dim)
+        features = nn.concatenate([x, propagated], axis=-1)  # (R, 2*in_dim)
+        weights = (node_embed @ self.weight_pool).reshape(r, 2 * self.in_dim, self.out_dim)
+        bias = node_embed @ self.bias_pool
+        return (features.expand_dims(1) @ weights).squeeze(1) + bias
+
+
+class _AGCRNCell(nn.Module):
+    def __init__(self, embed_dim: int, in_dim: int, hidden: int, rng):
+        super().__init__()
+        self.hidden = hidden
+        self.gate = _NAPLConv(embed_dim, in_dim + hidden, 2 * hidden, rng)
+        self.candidate = _NAPLConv(embed_dim, in_dim + hidden, hidden, rng)
+
+    def forward(self, x: Tensor, h: Tensor, node_embed: Tensor, adjacency: Tensor) -> Tensor:
+        combined = nn.concatenate([x, h], axis=-1)
+        gates = self.gate(combined, node_embed, adjacency).sigmoid()
+        r, u = gates[:, : self.hidden], gates[:, self.hidden :]
+        cand_in = nn.concatenate([x, r * h], axis=-1)
+        candidate = self.candidate(cand_in, node_embed, adjacency).tanh()
+        return u * h + (1.0 - u) * candidate
+
+
+class AGCRN(ForecastModel):
+    """Adaptive-graph recurrent forecaster."""
+
+    def __init__(
+        self,
+        num_regions: int,
+        num_categories: int,
+        hidden: int = 16,
+        embed_dim: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_regions = num_regions
+        self.hidden = hidden
+        self.node_embed = nn.Parameter(nn.init.normal((num_regions, embed_dim), rng, std=0.1))
+        self.cell = _AGCRNCell(embed_dim, num_categories, hidden, rng)
+        self.head = nn.Linear(hidden, num_categories, rng)
+
+    def adaptive_adjacency(self) -> Tensor:
+        scores = (self.node_embed @ self.node_embed.T).relu()
+        return F.softmax(scores, axis=-1)
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        _, steps, _ = window.shape
+        adjacency = self.adaptive_adjacency()
+        h = Tensor(np.zeros((self.num_regions, self.hidden)))
+        for t in range(steps):
+            h = self.cell(Tensor(window[:, t, :]), h, self.node_embed, adjacency)
+        return self.head(h)

@@ -1,0 +1,51 @@
+"""DeepCrime baseline (Huang, Zhang, Zheng & Chawla — CIKM 2018).
+
+Attentive hierarchical recurrent network for crime prediction: a GRU
+encodes each region's crime sequence (categories as features, plus a
+learnable region embedding), and a temporal attention layer aggregates
+hidden states with learned weights before the prediction head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from ..training.interface import ForecastModel
+
+__all__ = ["DeepCrime"]
+
+
+class DeepCrime(ForecastModel):
+    """GRU + temporal attention crime forecaster."""
+
+    def __init__(
+        self,
+        num_regions: int,
+        num_categories: int,
+        hidden: int = 16,
+        region_dim: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.hidden = hidden
+        self.region_embed = nn.Parameter(nn.init.normal((num_regions, region_dim), rng, std=0.1))
+        self.gru = nn.GRU(num_categories + region_dim, hidden, rng)
+        # Additive attention: score_t = vᵀ tanh(W h_t)
+        self.attn_proj = nn.Linear(hidden, hidden, rng)
+        self.attn_vector = nn.Parameter(nn.init.xavier_uniform((hidden, 1), rng))
+        self.head = nn.Linear(hidden, num_categories, rng)
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        r, w, c = window.shape
+        region_features = self.region_embed.expand_dims(1)  # (R, 1, region_dim)
+        region_tiled = region_features * Tensor(np.ones((1, w, 1)))
+        inputs = nn.concatenate([Tensor(window), region_tiled], axis=-1)
+        states, _ = self.gru(inputs)  # (R, W, hidden)
+        scores = self.attn_proj(states).tanh() @ self.attn_vector  # (R, W, 1)
+        weights = F.softmax(scores, axis=1)
+        context = (states * weights).sum(axis=1)  # (R, hidden)
+        return self.head(context)

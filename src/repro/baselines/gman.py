@@ -1,0 +1,64 @@
+"""GMAN baseline (Zheng, Fan, Wang & Qi — AAAI 2020).
+
+Graph Multi-Attention Network: stacked ST-attention blocks where each
+block runs *spatial attention* (regions attend to regions) and *temporal
+attention* (days attend to days) in parallel and merges them with a
+*gated fusion* layer — GMAN's characteristic design.  A spatio-temporal
+embedding built from learnable node vectors and day positions conditions
+all attention layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..training.interface import ForecastModel
+
+__all__ = ["GMAN"]
+
+
+class _STAttBlock(nn.Module):
+    def __init__(self, dim: int, heads: int, rng):
+        super().__init__()
+        self.spatial = nn.MultiHeadAttention(dim, heads, rng)
+        self.temporal = nn.MultiHeadAttention(dim, heads, rng)
+        self.gate = nn.Linear(2 * dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x``: (R, W, dim)."""
+        h_t = self.temporal(x)
+        h_s = self.spatial(x.transpose(1, 0, 2)).transpose(1, 0, 2)
+        z = self.gate(nn.concatenate([h_s, h_t], axis=-1)).sigmoid()
+        return x + z * h_s + (1.0 - z) * h_t
+
+
+class GMAN(ForecastModel):
+    """ST-embedding conditioned multi-attention forecaster."""
+
+    def __init__(
+        self,
+        num_regions: int,
+        num_categories: int,
+        window: int,
+        dim: int = 16,
+        heads: int = 2,
+        num_blocks: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_proj = nn.Linear(num_categories, dim, rng)
+        self.node_embed = nn.Parameter(nn.init.normal((num_regions, dim), rng, std=0.1))
+        self.time_embed = nn.Parameter(nn.init.normal((window, dim), rng, std=0.1))
+        self.blocks = nn.ModuleList([_STAttBlock(dim, heads, rng) for _ in range(num_blocks)])
+        self.head = nn.Linear(dim, num_categories, rng)
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        h = self.input_proj(Tensor(window))  # (R, W, dim)
+        st_embedding = self.node_embed.expand_dims(1) + self.time_embed.expand_dims(0)
+        h = h + st_embedding
+        for block in self.blocks:
+            h = block(h)
+        return self.head(h.mean(axis=1))

@@ -1,0 +1,87 @@
+"""MTGNN baseline (Wu et al. — KDD 2020).
+
+Multivariate time-series GNN *without* a predefined graph: a graph
+learning layer builds a sparse directed adjacency from two node
+embedding banks (with top-k pruning), mix-hop propagation aggregates
+multi-hop neighbourhoods with retention of the root signal, and gated
+temporal convolutions model time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from ..training.interface import ForecastModel
+from .base import GatedTemporalConv
+
+__all__ = ["MTGNN"]
+
+
+class _MixHop(nn.Module):
+    """Mix-hop propagation: h^(k) = β·x + (1-β)·Ã h^(k-1), concat + project."""
+
+    def __init__(self, dim: int, hops: int, beta: float, rng):
+        super().__init__()
+        self.hops = hops
+        self.beta = beta
+        self.proj = nn.Linear(dim * (hops + 1), dim, rng)
+
+    def forward(self, x: Tensor, adjacency: Tensor) -> Tensor:
+        """``x``: (T, R, dim)."""
+        terms = [x]
+        h = x
+        for _ in range(self.hops):
+            h = x * self.beta + (adjacency @ h) * (1.0 - self.beta)
+            terms.append(h)
+        return self.proj(nn.concatenate(terms, axis=-1))
+
+
+class MTGNN(ForecastModel):
+    """Graph-learning + mix-hop + gated temporal convolution stack."""
+
+    def __init__(
+        self,
+        num_regions: int,
+        num_categories: int,
+        hidden: int = 16,
+        embed_dim: int = 8,
+        top_k: int = 8,
+        hops: int = 2,
+        num_layers: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.top_k = min(top_k, num_regions)
+        self.embed_a = nn.Parameter(nn.init.normal((num_regions, embed_dim), rng, std=0.1))
+        self.embed_b = nn.Parameter(nn.init.normal((num_regions, embed_dim), rng, std=0.1))
+        self.input_proj = nn.Linear(num_categories, hidden, rng)
+        self.temporal_layers = nn.ModuleList(
+            [GatedTemporalConv(hidden, 3, rng) for _ in range(num_layers)]
+        )
+        self.graph_layers = nn.ModuleList(
+            [_MixHop(hidden, hops, beta=0.05, rng=rng) for _ in range(num_layers)]
+        )
+        self.head = nn.Linear(hidden, num_categories, rng)
+
+    def learned_adjacency(self) -> Tensor:
+        """Asymmetric adjacency with top-k sparsification per row."""
+        scores = (self.embed_a @ self.embed_b.T).tanh().relu()
+        data = scores.data
+        if self.top_k < data.shape[1]:
+            threshold = np.partition(data, -self.top_k, axis=1)[:, -self.top_k][:, None]
+            mask = (data >= threshold).astype(float)
+            scores = scores * Tensor(mask)
+        return F.softmax(scores, axis=-1)
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        adjacency = self.learned_adjacency()
+        x = self.input_proj(Tensor(window)).transpose(0, 2, 1)  # (R, hidden, W)
+        for temporal, graph in zip(self.temporal_layers, self.graph_layers):
+            x = temporal(x)
+            mixed = graph(x.transpose(2, 0, 1), adjacency)  # (W, R, hidden)
+            x = mixed.transpose(1, 2, 0) + x
+        return self.head(x.mean(axis=2))

@@ -1,0 +1,53 @@
+"""ST-MetaNet baseline (Pan et al. — KDD 2019).
+
+Meta-learning spatial-temporal network: per-region *meta knowledge*
+embeddings feed a hypernetwork that generates region-specific weights
+for the temporal encoder's output transform, so each region gets its own
+forecasting function while sharing the recurrent backbone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..training.interface import ForecastModel
+
+__all__ = ["STMetaNet"]
+
+
+class STMetaNet(ForecastModel):
+    """GRU backbone + meta-learned region-specific output weights."""
+
+    def __init__(
+        self,
+        num_regions: int,
+        num_categories: int,
+        hidden: int = 16,
+        meta_dim: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.hidden = hidden
+        self.num_categories = num_categories
+        self.meta_knowledge = nn.Parameter(nn.init.normal((num_regions, meta_dim), rng, std=0.1))
+        self.gru = nn.GRU(num_categories, hidden, rng)
+        # Hypernetwork: meta knowledge -> flattened (hidden x C) weight + C bias.
+        out_size = hidden * num_categories + num_categories
+        self.meta_mlp = nn.Sequential(
+            nn.Linear(meta_dim, 2 * meta_dim, rng),
+            nn.ReLU(),
+            nn.Linear(2 * meta_dim, out_size, rng),
+        )
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        r, w, c = window.shape
+        _, h_last = self.gru(Tensor(window))  # (R, hidden)
+        generated = self.meta_mlp(self.meta_knowledge)  # (R, hidden*C + C)
+        weight = generated[:, : self.hidden * c].reshape(r, self.hidden, c)
+        bias = generated[:, self.hidden * c :]
+        # Region-specific affine map: (R, 1, hidden) @ (R, hidden, C) -> (R, C)
+        pred = (h_last.expand_dims(1) @ weight).squeeze(1) + bias
+        return pred

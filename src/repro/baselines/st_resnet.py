@@ -1,0 +1,104 @@
+"""ST-ResNet baseline (Zhang, Zheng & Qi — AAAI 2017).
+
+Deep spatio-temporal residual network: the grid of regions is treated as
+an image whose channels are crime categories; three temporal fragments —
+*closeness* (recent days), *period* (weekly lags) and *trend* (older
+context) — are each encoded by a residual CNN, then fused with learnable
+per-fragment weights, matching the original three-branch design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..training.interface import ForecastModel
+
+__all__ = ["STResNet"]
+
+
+class _ResUnit(nn.Module):
+    """BN → ReLU → Conv, twice, with identity skip (original design)."""
+
+    def __init__(self, channels: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv1 = nn.Conv2d(channels, channels, 3, rng, padding=1)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, rng, padding=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv1(self.bn1(x).relu())
+        return self.conv2(self.bn2(h).relu()) + x
+
+
+class _Branch(nn.Module):
+    """Conv-in → residual units → conv-out for one temporal fragment."""
+
+    def __init__(self, in_channels: int, out_channels: int, hidden: int, units: int, rng):
+        super().__init__()
+        self.conv_in = nn.Conv2d(in_channels, hidden, 3, rng, padding=1)
+        self.units = nn.ModuleList([_ResUnit(hidden, rng) for _ in range(units)])
+        self.conv_out = nn.Conv2d(hidden, out_channels, 3, rng, padding=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv_in(x)
+        for unit in self.units:
+            h = unit(h)
+        return self.conv_out(h.relu())
+
+
+class STResNet(ForecastModel):
+    """Three-fragment residual CNN over the region grid."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        num_categories: int,
+        window: int,
+        hidden: int = 16,
+        closeness: int = 3,
+        period_lags: int = 2,
+        res_units: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.rows = rows
+        self.cols = cols
+        self.num_categories = num_categories
+        self.window = window
+        self.closeness = min(closeness, window)
+        # Weekly-lag days available inside the window.
+        self.period_days = [d for d in range(7, window + 1, 7)][:period_lags]
+        c = num_categories
+        self.close_branch = _Branch(self.closeness * c, c, hidden, res_units, rng)
+        if self.period_days:
+            self.period_branch = _Branch(len(self.period_days) * c, c, hidden, res_units, rng)
+        else:
+            self.period_branch = None
+        self.trend_branch = _Branch(c, c, hidden, res_units, rng)
+        # Learnable fusion weights per branch (element-wise, per category).
+        self.w_close = nn.Parameter(np.ones((c, 1, 1)))
+        self.w_period = nn.Parameter(np.ones((c, 1, 1)))
+        self.w_trend = nn.Parameter(np.ones((c, 1, 1)))
+
+    def _fragment(self, window: np.ndarray, days: list[int]) -> np.ndarray:
+        """Select day offsets (1 = yesterday) as image channels (1, k*C, I, J)."""
+        frames = [window[:, -d, :] for d in days]  # each (R, C)
+        stacked = np.concatenate(frames, axis=1)  # (R, k*C)
+        image = stacked.reshape(self.rows, self.cols, -1).transpose(2, 0, 1)
+        return image[None]
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        close = Tensor(self._fragment(window, list(range(1, self.closeness + 1))))
+        out = self.close_branch(close) * self.w_close
+        if self.period_branch is not None:
+            period = Tensor(self._fragment(window, self.period_days))
+            out = out + self.period_branch(period) * self.w_period
+        trend = Tensor(window.mean(axis=1).reshape(self.rows, self.cols, -1).transpose(2, 0, 1)[None])
+        out = out + self.trend_branch(trend) * self.w_trend
+        # (1, C, I, J) -> (R, C)
+        return out.squeeze(0).transpose(1, 2, 0).reshape(self.rows * self.cols, self.num_categories)

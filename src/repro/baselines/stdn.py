@@ -1,0 +1,78 @@
+"""STDN baseline (Yao et al. — AAAI 2019).
+
+Spatial-Temporal Dynamic Network: a local CNN extracts spatial features
+per day, an LSTM models short-term dependence, and a *periodically
+shifted attention* mechanism attends over hidden states at weekly lags
+to capture long-term periodicity — the model's signature component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from ..training.interface import ForecastModel
+
+__all__ = ["STDN"]
+
+
+class STDN(ForecastModel):
+    """Local CNN + LSTM + periodic shifted attention."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        num_categories: int,
+        window: int,
+        hidden: int = 16,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.rows = rows
+        self.cols = cols
+        self.num_categories = num_categories
+        self.hidden = hidden
+        self.window = window
+        self.local_cnn = nn.Conv2d(num_categories, hidden, 3, rng, padding=1)
+        self.cell = nn.LSTMCell(hidden, hidden, rng)
+        self.attn_query = nn.Linear(hidden, hidden, rng)
+        self.attn_key = nn.Linear(hidden, hidden, rng)
+        self.head = nn.Linear(2 * hidden, num_categories, rng)
+
+    def _spatial_features(self, window: np.ndarray) -> list[Tensor]:
+        """Per-day CNN features: list of (R, hidden)."""
+        _, steps, _ = window.shape
+        features = []
+        for t in range(steps):
+            image = window[:, t, :].reshape(self.rows, self.cols, -1).transpose(2, 0, 1)[None]
+            feat = self.local_cnn(Tensor(image)).relu()  # (1, hidden, I, J)
+            features.append(
+                feat.squeeze(0).transpose(1, 2, 0).reshape(self.rows * self.cols, self.hidden)
+            )
+        return features
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        features = self._spatial_features(window)
+        num_regions = self.rows * self.cols
+        h = Tensor(np.zeros((num_regions, self.hidden)))
+        c = Tensor(np.zeros((num_regions, self.hidden)))
+        states: list[Tensor] = []
+        for feat in features:
+            h, c = self.cell(feat, (h, c))
+            states.append(h)
+        # Periodic shifted attention: the final state attends over hidden
+        # states at weekly lags (t-7, t-14, ...), falling back to all
+        # states when the window is shorter than a week.
+        lags = [len(states) - 1 - d for d in range(7, self.window, 7)]
+        lags = [i for i in lags if i >= 0] or list(range(len(states) - 1))
+        query = self.attn_query(h).expand_dims(1)  # (R, 1, hidden)
+        keys = nn.stack([self.attn_key(states[i]) for i in lags], axis=1)  # (R, L, hidden)
+        scores = (query * keys).sum(axis=-1, keepdims=True) / np.sqrt(self.hidden)
+        weights = F.softmax(scores, axis=1)
+        values = nn.stack([states[i] for i in lags], axis=1)
+        periodic = (values * weights).sum(axis=1)  # (R, hidden)
+        return self.head(nn.concatenate([h, periodic], axis=-1))

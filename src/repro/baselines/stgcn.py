@@ -1,0 +1,67 @@
+"""STGCN baseline (Yu, Yin & Zhu — IJCAI 2018).
+
+Spatio-Temporal Graph Convolutional Network: "sandwich" ST-Conv blocks
+— gated temporal convolution, spectral-style graph convolution over the
+region graph, then another gated temporal convolution — followed by an
+output layer pooling the remaining time steps.  Kernel size 3 as in the
+paper's comparison setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..training.interface import ForecastModel
+from .base import GatedTemporalConv, GraphConv
+
+__all__ = ["STGCN"]
+
+
+class _STConvBlock(nn.Module):
+    """Temporal gate → graph conv → temporal gate."""
+
+    def __init__(self, channels: int, support: np.ndarray, kernel: int, rng):
+        super().__init__()
+        self.temporal_a = GatedTemporalConv(channels, kernel, rng)
+        self.graph = GraphConv(channels, channels, rng, support=support)
+        self.temporal_b = GatedTemporalConv(channels, kernel, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x``: (R, channels, T)."""
+        h = self.temporal_a(x)
+        # Graph conv mixes regions at each time step: (R, ch, T) -> (T, R, ch)
+        h = self.graph(h.transpose(2, 0, 1)).relu().transpose(1, 2, 0)
+        return self.temporal_b(h)
+
+
+class STGCN(ForecastModel):
+    """Stacked ST-Conv blocks with a linear readout."""
+
+    def __init__(
+        self,
+        adjacency_normalized: np.ndarray,
+        num_categories: int,
+        window: int,
+        hidden: int = 16,
+        num_blocks: int = 2,
+        kernel: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.hidden = hidden
+        self.input_proj = nn.Linear(num_categories, hidden, rng)
+        self.blocks = nn.ModuleList(
+            [_STConvBlock(hidden, adjacency_normalized, kernel, rng) for _ in range(num_blocks)]
+        )
+        self.head = nn.Linear(hidden, num_categories, rng)
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        # (R, W, C) -> project categories to hidden -> (R, hidden, W)
+        x = self.input_proj(Tensor(window)).transpose(0, 2, 1)
+        for block in self.blocks:
+            x = block(x)
+        pooled = x.mean(axis=2)  # (R, hidden)
+        return self.head(pooled)

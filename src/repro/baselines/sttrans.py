@@ -1,0 +1,68 @@
+"""STtrans baseline (Wu, Huang, Zhang & Chawla — WWW 2020).
+
+Hierarchically structured Transformer for sparse spatial event
+forecasting: stacked layers of self-attention applied along the spatial
+axis (regions attend to regions) and the temporal axis (days attend to
+days), with layer normalisation and feed-forward sublayers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..training.interface import ForecastModel
+
+__all__ = ["STtrans"]
+
+
+class _TransformerLayer(nn.Module):
+    def __init__(self, dim: int, heads: int, rng):
+        super().__init__()
+        self.attn = nn.MultiHeadAttention(dim, heads, rng)
+        self.norm_a = nn.LayerNorm(dim)
+        self.ff = nn.Sequential(nn.Linear(dim, 2 * dim, rng), nn.ReLU(), nn.Linear(2 * dim, dim, rng))
+        self.norm_b = nn.LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.norm_a(x + self.attn(x))
+        return self.norm_b(h + self.ff(h))
+
+
+class STtrans(ForecastModel):
+    """Two stacked spatial-temporal Transformer encoder layers."""
+
+    def __init__(
+        self,
+        num_regions: int,
+        num_categories: int,
+        window: int,
+        dim: int = 16,
+        heads: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.input_proj = nn.Linear(num_categories, dim, rng)
+        self.time_pos = nn.Parameter(nn.init.normal((window, dim), rng, std=0.1))
+        self.region_pos = nn.Parameter(nn.init.normal((num_regions, dim), rng, std=0.1))
+        self.spatial_layer = _TransformerLayer(dim, heads, rng)
+        self.temporal_layer = _TransformerLayer(dim, heads, rng)
+        self.spatial_layer2 = _TransformerLayer(dim, heads, rng)
+        self.temporal_layer2 = _TransformerLayer(dim, heads, rng)
+        self.head = nn.Linear(dim, num_categories, rng)
+
+    def forward(self, window: np.ndarray) -> Tensor:
+        r, w, _ = window.shape
+        h = self.input_proj(Tensor(window))  # (R, W, dim)
+        h = h + self.time_pos.expand_dims(0) + self.region_pos.expand_dims(1)
+        # Layer stack 1: temporal attention (batch R over days), then
+        # spatial attention (batch days over regions).
+        h = self.temporal_layer(h)
+        h = self.spatial_layer(h.transpose(1, 0, 2)).transpose(1, 0, 2)
+        # Layer stack 2.
+        h = self.temporal_layer2(h)
+        h = self.spatial_layer2(h.transpose(1, 0, 2)).transpose(1, 0, 2)
+        return self.head(h.mean(axis=1))

@@ -1,0 +1,193 @@
+"""Command-line interface for the ST-HSL reproduction.
+
+Subcommands::
+
+    python -m repro.cli generate --city nyc --out events.csv
+    python -m repro.cli train --city nyc --epochs 5 --checkpoint model.npz
+    python -m repro.cli evaluate --city nyc --checkpoint model.npz
+    python -m repro.cli compare --city chicago --models ARIMA STGCN
+    python -m repro.cli forecast --city nyc --checkpoint model.npz --horizon 7
+
+All commands operate on the synthetic datasets (deterministic by
+``--seed``) at a geometry chosen via ``--rows/--cols/--days``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import nn
+from .analysis import ExperimentBudget, train_and_evaluate
+from .analysis.visualization import format_table
+from .baselines import BASELINE_NAMES, build_baseline
+from .core import STHSL, STHSLConfig
+from .data import SyntheticCrimeGenerator, load_city, write_events_csv
+from .training import Trainer, WindowDataset, evaluate_model
+from .training.forecast import evaluate_horizon
+
+__all__ = ["main"]
+
+
+def _add_data_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--city", choices=("nyc", "chicago"), default="nyc")
+    parser.add_argument("--rows", type=int, default=8)
+    parser.add_argument("--cols", type=int, default=8)
+    parser.add_argument("--days", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--window", type=int, default=14)
+    parser.add_argument("--dim", type=int, default=8)
+    parser.add_argument("--hyperedges", type=int, default=32)
+
+
+def _dataset(args):
+    return load_city(args.city, rows=args.rows, cols=args.cols, num_days=args.days, seed=args.seed)
+
+
+def _config(args, dataset) -> STHSLConfig:
+    return STHSLConfig(
+        rows=args.rows,
+        cols=args.cols,
+        num_categories=dataset.num_categories,
+        window=args.window,
+        dim=args.dim,
+        num_hyperedges=args.hyperedges,
+        num_global_temporal_layers=2,
+    )
+
+
+def _print_metrics(evaluation) -> None:
+    rows = [
+        [name, m["mae"], m["mape"]] for name, m in evaluation.per_category().items()
+    ]
+    overall = evaluation.overall()
+    rows.append(["(overall)", overall["mae"], overall["mape"]])
+    print(format_table(["category", "MAE", "MAPE"], rows))
+
+
+def cmd_generate(args) -> int:
+    dataset = _dataset(args)
+    generator = SyntheticCrimeGenerator(dataset.config, seed=args.seed)
+    events = generator.generate_events(dataset.tensor)
+    count = write_events_csv(events, args.out)
+    print(f"wrote {count:,} crime events to {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = _dataset(args)
+    config = _config(args, dataset)
+    model = STHSL(config, seed=args.seed)
+    windows = WindowDataset(dataset, window=config.window)
+    trainer = Trainer(model, lr=args.lr, weight_decay=config.weight_decay, seed=args.seed)
+    result = trainer.fit(
+        windows, epochs=args.epochs, train_limit=args.train_limit, patience=args.patience,
+        verbose=True,
+    )
+    print(f"best val MAE {result.best_val_mae:.4f} at epoch {result.best_epoch}")
+    if args.checkpoint:
+        nn.save_module(model, args.checkpoint)
+        print(f"checkpoint saved to {args.checkpoint}")
+    _print_metrics(evaluate_model(model, windows))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    dataset = _dataset(args)
+    config = _config(args, dataset)
+    model = STHSL(config, seed=args.seed)
+    nn.load_module(model, args.checkpoint)
+    windows = WindowDataset(dataset, window=config.window)
+    _print_metrics(evaluate_model(model, windows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    dataset = _dataset(args)
+    budget = ExperimentBudget(
+        window=args.window, epochs=args.epochs, train_limit=args.train_limit, seed=args.seed
+    )
+    scores = {}
+    for name in args.models:
+        model = build_baseline(name, dataset, window=args.window, hidden=args.dim, seed=args.seed)
+        run = train_and_evaluate(model, dataset, budget)
+        scores[name] = run.evaluation.overall()
+    config = _config(args, dataset)
+    sthsl = STHSL(config, seed=args.seed)
+    scores["ST-HSL"] = train_and_evaluate(sthsl, dataset, budget).evaluation.overall()
+    ranked = sorted(scores.items(), key=lambda kv: kv[1]["mae"])
+    rows = [[i + 1, n, s["mae"], s["mape"]] for i, (n, s) in enumerate(ranked)]
+    print(format_table(["#", "model", "MAE", "MAPE"], rows))
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    dataset = _dataset(args)
+    config = _config(args, dataset)
+    model = STHSL(config, seed=args.seed)
+    nn.load_module(model, args.checkpoint)
+    windows = WindowDataset(dataset, window=config.window)
+    per_step = evaluate_horizon(model, windows, horizon=args.horizon)
+    rows = [[f"T+{k}", m["mae"], m["mape"]] for k, m in per_step.items()]
+    print(format_table(["step", "MAE", "MAPE"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic crime event CSV")
+    _add_data_args(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("train", help="train ST-HSL and report test metrics")
+    _add_data_args(p)
+    _add_model_args(p)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--lr", type=float, default=1e-3)
+    p.add_argument("--train-limit", type=int, default=40)
+    p.add_argument("--patience", type=int, default=None)
+    p.add_argument("--checkpoint", default=None)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    _add_data_args(p)
+    _add_model_args(p)
+    p.add_argument("--checkpoint", required=True)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("compare", help="train baselines + ST-HSL and rank them")
+    _add_data_args(p)
+    _add_model_args(p)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--train-limit", type=int, default=24)
+    p.add_argument(
+        "--models", nargs="+", default=["ARIMA", "STGCN", "DeepCrime"],
+        choices=list(BASELINE_NAMES) + ["HA"],
+    )
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("forecast", help="multi-step recursive forecast quality")
+    _add_data_args(p)
+    _add_model_args(p)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--horizon", type=int, default=7)
+    p.set_defaults(func=cmd_forecast)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.seterr(all="ignore")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,308 @@
+"""The full ST-HSL model (paper §III, Figure 3, Algorithm 1).
+
+Wires together the crime embedding layer (Eq 1), multi-view
+spatial-temporal convolution encoder (Eqs 2–3), hypergraph global
+dependency modelling (Eqs 4–5), the dual-stage self-supervised learning
+paradigm (Eqs 6–8), the prediction head (Eq 9) and the joint loss
+(Eq 10).  Every ablation variant of Table IV and Figure 5 is expressible
+through :class:`~repro.core.config.STHSLConfig` switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from .config import STHSLConfig
+from .embedding import CrimeEmbedding
+from .global_temporal import GlobalTemporalEncoder
+from .hypergraph import HypergraphEncoder
+from .infomax import HypergraphInfomax
+from .spatial_conv import SpatialConvEncoder
+from .temporal_conv import TemporalConvEncoder
+
+__all__ = ["STHSL", "STHSLOutput", "STHSLLoss"]
+
+
+@dataclass
+class STHSLOutput:
+    """Forward-pass artefacts needed for the joint loss and analysis."""
+
+    prediction: Tensor  # (R, C), in normalised units
+    local: Tensor | None  # H^(T): (R, T, C, d) or None when disabled
+    global_nodes: Tensor | None  # Γ^(R): (T, RC, d) or None
+    global_temporal: Tensor | None  # Γ^(T): (T, RC, d) or None
+
+
+@dataclass
+class STHSLLoss:
+    """Joint loss decomposition (Eq 10, with λ3 handled by the optimiser)."""
+
+    total: Tensor
+    prediction: float
+    infomax: float
+    contrastive: float
+
+
+class STHSL(nn.Module):
+    """Spatial-Temporal Hypergraph Self-Supervised Learning model."""
+
+    def __init__(self, config: STHSLConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self._corrupt_rng = np.random.default_rng(seed + 1)
+        self._node_cache = None
+        cfg = config
+
+        self.embedding = CrimeEmbedding(cfg.num_categories, cfg.dim, rng)
+
+        if cfg.use_local and cfg.use_spatial_conv:
+            self.spatial_encoder = SpatialConvEncoder(
+                cfg.rows,
+                cfg.cols,
+                cfg.num_categories,
+                cfg.dim,
+                cfg.kernel_size,
+                cfg.num_spatial_layers,
+                cfg.dropout,
+                cfg.leaky_slope,
+                cfg.cross_category,
+                rng,
+            )
+        else:
+            self.spatial_encoder = None
+
+        if cfg.use_local and cfg.use_temporal_conv:
+            self.temporal_encoder = TemporalConvEncoder(
+                cfg.num_categories,
+                cfg.dim,
+                cfg.kernel_size,
+                cfg.num_temporal_layers,
+                cfg.dropout,
+                cfg.leaky_slope,
+                rng,
+            )
+        else:
+            self.temporal_encoder = None
+
+        if cfg.use_hypergraph:
+            self.hypergraph = HypergraphEncoder(
+                cfg.num_regions * cfg.num_categories,
+                cfg.num_hyperedges,
+                cfg.leaky_slope,
+                rng,
+            )
+        else:
+            self.hypergraph = None
+
+        if cfg.use_hypergraph and cfg.use_global_temporal:
+            self.global_temporal = GlobalTemporalEncoder(
+                cfg.dim,
+                cfg.kernel_size,
+                cfg.num_global_temporal_layers,
+                cfg.dropout,
+                cfg.leaky_slope,
+                rng,
+            )
+        else:
+            self.global_temporal = None
+
+        if cfg.use_hypergraph and cfg.use_infomax:
+            self.infomax = HypergraphInfomax(cfg.dim, rng)
+        else:
+            self.infomax = None
+
+        # Eq 9's W_{d'} projection; only heads on reachable prediction
+        # paths are created so every parameter participates in training.
+        self.global_head = (
+            nn.Linear(cfg.dim, 1, rng) if cfg.use_hypergraph and cfg.use_global and not cfg.fusion else None
+        )
+        local_predicts = cfg.use_local and not cfg.fusion and not (cfg.use_global and cfg.use_hypergraph)
+        self.local_head = nn.Linear(cfg.dim, 1, rng) if local_predicts else None
+        if cfg.fusion:
+            self.fusion_layer = nn.Linear(2 * cfg.dim, cfg.dim, rng)
+            self.fusion_head = nn.Linear(cfg.dim, 1, rng)
+        else:
+            self.fusion_layer = None
+            self.fusion_head = None
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, window: np.ndarray) -> STHSLOutput:
+        """Run one normalised crime window ``(R, T, C)`` through the model."""
+        cfg = self.config
+        r, t, c = window.shape
+        if (r, c) != (cfg.num_regions, cfg.num_categories):
+            raise ValueError(
+                f"window shape {window.shape} incompatible with config "
+                f"(R={cfg.num_regions}, C={cfg.num_categories})"
+            )
+
+        embeddings = self.embedding(window)  # (R, T, C, d)
+
+        # ----- Local branch: multi-view spatial-temporal convolutions -----
+        local: Tensor | None = None
+        if cfg.use_local:
+            local = embeddings
+            if self.spatial_encoder is not None:
+                local = self.spatial_encoder(local)
+            if self.temporal_encoder is not None:
+                local = self.temporal_encoder(local)
+
+        # ----- Global branch: hypergraph + temporal relation encoding -----
+        # Per the architecture of Figure 3 (and the released reference
+        # code), the hypergraph consumes the multi-view convolution output
+        # when the local encoder is active, falling back to the raw crime
+        # embeddings in the "w/o Local" ablation.
+        global_nodes: Tensor | None = None
+        global_temporal: Tensor | None = None
+        if self.hypergraph is not None:
+            source = local if local is not None else embeddings
+            nodes = source.transpose(1, 0, 2, 3).reshape(t, r * c, cfg.dim)
+            self._node_cache = nodes
+            global_nodes = self.hypergraph(nodes)
+            global_temporal = (
+                self.global_temporal(global_nodes)
+                if self.global_temporal is not None
+                else global_nodes
+            )
+
+        prediction = self._predict_head(local, global_temporal, r, t, c)
+        return STHSLOutput(
+            prediction=prediction,
+            local=local,
+            global_nodes=global_nodes,
+            global_temporal=global_temporal,
+        )
+
+    def _predict_head(
+        self,
+        local: Tensor | None,
+        global_temporal: Tensor | None,
+        r: int,
+        t: int,
+        c: int,
+    ) -> Tensor:
+        """Eq 9: mean-pool the window embeddings and project to a scalar."""
+        cfg = self.config
+        local_pooled = local.mean(axis=1) if local is not None else None  # (R, C, d)
+        global_pooled = (
+            global_temporal.mean(axis=0).reshape(r, c, cfg.dim)
+            if global_temporal is not None
+            else None
+        )
+
+        if cfg.fusion and local_pooled is not None and global_pooled is not None:
+            fused = nn.concatenate([local_pooled, global_pooled], axis=-1)
+            hidden = self.fusion_layer(fused).leaky_relu(cfg.leaky_slope)
+            return self.fusion_head(hidden).squeeze(-1)
+        if cfg.use_global and global_pooled is not None:
+            return self.global_head(global_pooled).squeeze(-1)
+        if local_pooled is None:
+            raise RuntimeError("no active prediction branch")
+        return self.local_head(local_pooled).squeeze(-1)
+
+    # ------------------------------------------------------------------
+    # Joint objective
+    # ------------------------------------------------------------------
+    def loss(self, output: STHSLOutput, target: np.ndarray) -> STHSLLoss:
+        """Joint loss (Eq 10): prediction + λ1·L^(I) + λ2·L^(C).
+
+        ``target`` is the normalised next-day matrix ``(R, C)``.  The
+        weight-decay term λ3‖Θ‖² is applied by the optimiser.
+        """
+        cfg = self.config
+        pred_loss = F.mse_loss(output.prediction, target, reduction="mean")
+        total = pred_loss
+        infomax_value = 0.0
+        contrastive_value = 0.0
+
+        if self.infomax is not None and output.global_nodes is not None:
+            # Propagate over a corrupt (region-shuffled) structure (§III-D1);
+            # the corrupt path stays differentiable so the incidence matrix
+            # also learns from negative samples, as in Deep Graph Infomax.
+            corrupt = self.hypergraph.propagate_corrupt(
+                self._last_node_embeddings,
+                self._corrupt_rng,
+                strategy=cfg.corruption,
+                noise_scale=cfg.corruption_noise_scale,
+            )
+            infomax_loss = self.infomax(output.global_nodes, corrupt, cfg.num_regions)
+            total = total + infomax_loss * cfg.lambda_infomax
+            infomax_value = float(infomax_loss.data)
+
+        if (
+            cfg.use_contrastive
+            and output.local is not None
+            and output.global_temporal is not None
+        ):
+            contrast_loss = self._contrastive(output.local, output.global_temporal)
+            total = total + contrast_loss * cfg.lambda_contrastive
+            contrastive_value = float(contrast_loss.data)
+
+        return STHSLLoss(
+            total=total,
+            prediction=float(pred_loss.data),
+            infomax=infomax_value,
+            contrastive=contrastive_value,
+        )
+
+    def _contrastive(self, local: Tensor, global_temporal: Tensor) -> Tensor:
+        """Local-global cross-view InfoNCE (Eq 8).
+
+        Embeddings are mean-pooled over the temporal dimension; for each
+        category the (region-aligned) local and global vectors form
+        positive pairs, other regions provide negatives.
+        """
+        cfg = self.config
+        r = cfg.num_regions
+        c = cfg.num_categories
+        local_pooled = local.mean(axis=1)  # (R, C, d)
+        global_pooled = global_temporal.mean(axis=0).reshape(r, c, cfg.dim)
+        losses = []
+        for cat in range(c):
+            anchor = global_pooled[:, cat, :]
+            positive = local_pooled[:, cat, :]
+            losses.append(F.info_nce(anchor, positive, cfg.temperature))
+        total = losses[0]
+        for item in losses[1:]:
+            total = total + item
+        return total / float(c)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def _last_node_embeddings(self) -> Tensor:
+        if self._node_cache is None:
+            raise RuntimeError("forward() must run before loss()")
+        return self._node_cache
+
+    def training_loss(self, window: np.ndarray, target: np.ndarray) -> Tensor:
+        """Joint objective for the trainer (matches ForecastModel's duck type)."""
+        output = self.forward(window)
+        return self.loss(output, target).total
+
+    def predict(self, window: np.ndarray) -> np.ndarray:
+        """Inference: normalised window in, normalised prediction out."""
+        self.eval()
+        with nn.no_grad():
+            return self.forward(window).prediction.data.copy()
+
+    def hyperedge_relevance(self, window: np.ndarray) -> np.ndarray:
+        """Time-aware region-hyperedge dependency scores (Figure 8)."""
+        if self.hypergraph is None:
+            raise RuntimeError("hypergraph branch is disabled in this config")
+        cfg = self.config
+        self.eval()
+        with nn.no_grad():
+            embeddings = self.embedding(window)
+            r, t, c, d = embeddings.shape
+            nodes = embeddings.transpose(1, 0, 2, 3).reshape(t, r * c, d)
+            return self.hypergraph.relevance(nodes)

@@ -1,0 +1,60 @@
+"""``repro.data`` — the crime-data pipeline.
+
+Covers the paper's data substrate end to end: event schema and CSV io,
+grid-based map segmentation, synthetic generators calibrated to the NYC
+and Chicago datasets of Table II, tensorisation to ``X[R, T, C]``,
+temporal splits, and density-degree statistics.
+"""
+
+from .datasets import CITY_CONFIGS, CrimeDataset, dataset_from_events, load_city
+from .density import (
+    SPARSE_BINS,
+    density_degree,
+    density_degree_per_category,
+    density_histogram,
+    group_regions_by_density,
+)
+from .grid import GridSegmentation
+from .io import read_events_csv, write_events_csv
+from .poi import POI_CATEGORIES, functionality_similarity, generate_poi_features, poi_for_generator
+from .portals import ParseReport, parse_chicago_crimes, parse_nyc_complaints
+from .schema import CHICAGO_CONFIG, NYC_CONFIG, BoundingBox, CityConfig, CrimeEvent
+from .splits import TemporalSplit, temporal_split
+from .synthetic import SyntheticCrimeGenerator, spatial_intensity_field, temporal_profile
+from .tensorize import events_to_tensor, inverse_zscore, zscore, zscore_stats
+
+__all__ = [
+    "BoundingBox",
+    "CrimeEvent",
+    "CityConfig",
+    "NYC_CONFIG",
+    "CHICAGO_CONFIG",
+    "CITY_CONFIGS",
+    "GridSegmentation",
+    "SyntheticCrimeGenerator",
+    "spatial_intensity_field",
+    "temporal_profile",
+    "events_to_tensor",
+    "zscore",
+    "zscore_stats",
+    "inverse_zscore",
+    "TemporalSplit",
+    "temporal_split",
+    "density_degree",
+    "density_degree_per_category",
+    "density_histogram",
+    "group_regions_by_density",
+    "SPARSE_BINS",
+    "CrimeDataset",
+    "load_city",
+    "dataset_from_events",
+    "read_events_csv",
+    "write_events_csv",
+    "POI_CATEGORIES",
+    "generate_poi_features",
+    "poi_for_generator",
+    "functionality_similarity",
+    "ParseReport",
+    "parse_nyc_complaints",
+    "parse_chicago_crimes",
+]

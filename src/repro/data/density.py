@@ -1,0 +1,70 @@
+"""Crime sequence density degrees (paper Figure 1 and RQ3 grouping).
+
+The *density degree* of a region is the fraction of days with at least
+one crime occurrence; it quantifies label sparsity.  Figure 1 shows most
+regions fall in (0, 0.25]; the robustness study (Figure 6) groups sparse
+regions into (0, 0.25] and (0.25, 0.5].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "density_degree",
+    "density_degree_per_category",
+    "density_histogram",
+    "group_regions_by_density",
+    "SPARSE_BINS",
+]
+
+# The two sparse-region groups analysed in the paper's robustness study.
+SPARSE_BINS: tuple[tuple[float, float], ...] = ((0.0, 0.25), (0.25, 0.5))
+
+
+def density_degree(tensor: np.ndarray) -> np.ndarray:
+    """Per-region density over all categories: ``(R,)``.
+
+    A day counts as non-zero when any category had an occurrence in the
+    region.
+    """
+    any_crime = tensor.sum(axis=2) > 0  # (R, T)
+    return any_crime.mean(axis=1)
+
+
+def density_degree_per_category(tensor: np.ndarray) -> np.ndarray:
+    """Per-(region, category) density of the sequence ``X_{r,c}``: ``(R, C)``."""
+    return (tensor > 0).mean(axis=1)
+
+
+def density_histogram(
+    tensor: np.ndarray, bins: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+) -> dict[str, np.ndarray]:
+    """Fraction of regions per density bucket, per category (Figure 1).
+
+    Returns ``{"edges": ..., "counts": (num_bins, C)}`` where counts are
+    normalised to fractions of regions.
+    """
+    density = density_degree_per_category(tensor)  # (R, C)
+    num_bins = len(bins) - 1
+    counts = np.zeros((num_bins, tensor.shape[2]))
+    for c in range(tensor.shape[2]):
+        hist, _ = np.histogram(density[:, c], bins=np.asarray(bins))
+        counts[:, c] = hist / max(tensor.shape[0], 1)
+    return {"edges": np.asarray(bins), "counts": counts}
+
+
+def group_regions_by_density(
+    tensor: np.ndarray, bins: tuple[tuple[float, float], ...] = SPARSE_BINS
+) -> dict[tuple[float, float], np.ndarray]:
+    """Region indices per half-open density interval ``(low, high]``.
+
+    Mirrors the grouping of the robustness study: regions with density in
+    ``(low, high]`` form one evaluation cohort.
+    """
+    density = density_degree(tensor)
+    groups: dict[tuple[float, float], np.ndarray] = {}
+    for low, high in bins:
+        mask = (density > low) & (density <= high)
+        groups[(low, high)] = np.flatnonzero(mask)
+    return groups

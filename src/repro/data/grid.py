@@ -1,0 +1,135 @@
+"""Grid-based map segmentation.
+
+The paper evenly partitions the urban space into ``R`` disjoint
+geographical regions with a grid (3km×3km cells, §II).  This module maps
+coordinates to region indices and exposes the grid topology (row/col
+layout, neighbourhoods, adjacency) that the spatial convolution encoder
+and the graph-based baselines rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import BoundingBox
+
+__all__ = ["GridSegmentation"]
+
+
+class GridSegmentation:
+    """Even ``rows × cols`` partition of a bounding box.
+
+    Region indices are row-major: region ``r`` occupies grid cell
+    ``(r // cols, r % cols)`` with row 0 at the southern edge.
+    """
+
+    def __init__(self, bbox: BoundingBox, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        self.bbox = bbox
+        self.rows = rows
+        self.cols = cols
+        self._lat_step = (bbox.lat_max - bbox.lat_min) / rows
+        self._lon_step = (bbox.lon_max - bbox.lon_min) / cols
+
+    @property
+    def num_regions(self) -> int:
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def region_of(self, lat: float, lon: float) -> int:
+        """Region index for a coordinate, or ``-1`` if outside the bbox."""
+        if not self.bbox.contains(lat, lon):
+            return -1
+        row = min(int((lat - self.bbox.lat_min) / self._lat_step), self.rows - 1)
+        col = min(int((lon - self.bbox.lon_min) / self._lon_step), self.cols - 1)
+        return row * self.cols + col
+
+    def regions_of(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`region_of`; out-of-box points map to ``-1``."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        rows = np.clip(((lats - self.bbox.lat_min) / self._lat_step).astype(int), 0, self.rows - 1)
+        cols = np.clip(((lons - self.bbox.lon_min) / self._lon_step).astype(int), 0, self.cols - 1)
+        regions = rows * self.cols + cols
+        inside = (
+            (lats >= self.bbox.lat_min)
+            & (lats <= self.bbox.lat_max)
+            & (lons >= self.bbox.lon_min)
+            & (lons <= self.bbox.lon_max)
+        )
+        return np.where(inside, regions, -1)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def row_col(self, region: int) -> tuple[int, int]:
+        if not 0 <= region < self.num_regions:
+            raise IndexError(f"region {region} out of range [0, {self.num_regions})")
+        return divmod(region, self.cols)
+
+    def region_index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def cell_bounds(self, region: int) -> BoundingBox:
+        """Geographic bounds of one grid cell."""
+        row, col = self.row_col(region)
+        return BoundingBox(
+            lat_min=self.bbox.lat_min + row * self._lat_step,
+            lat_max=self.bbox.lat_min + (row + 1) * self._lat_step,
+            lon_min=self.bbox.lon_min + col * self._lon_step,
+            lon_max=self.bbox.lon_min + (col + 1) * self._lon_step,
+        )
+
+    def cell_center(self, region: int) -> tuple[float, float]:
+        bounds = self.cell_bounds(region)
+        return ((bounds.lat_min + bounds.lat_max) / 2, (bounds.lon_min + bounds.lon_max) / 2)
+
+    def neighbors(self, region: int, diagonal: bool = False) -> list[int]:
+        """Region indices adjacent on the grid (4- or 8-neighbourhood)."""
+        row, col = self.row_col(region)
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        if diagonal:
+            offsets += [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+        result = []
+        for dr, dc in offsets:
+            nr, nc = row + dr, col + dc
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                result.append(nr * self.cols + nc)
+        return result
+
+    def adjacency_matrix(self, diagonal: bool = False, self_loops: bool = False) -> np.ndarray:
+        """Dense binary region adjacency (the spatial graph for GNN baselines)."""
+        n = self.num_regions
+        adj = np.zeros((n, n))
+        for region in range(n):
+            for neighbor in self.neighbors(region, diagonal=diagonal):
+                adj[region, neighbor] = 1.0
+        if self_loops:
+            np.fill_diagonal(adj, 1.0)
+        return adj
+
+    def normalized_adjacency(self, diagonal: bool = False) -> np.ndarray:
+        """Symmetrically normalised adjacency with self loops: D^-1/2 (A+I) D^-1/2.
+
+        This is the propagation operator used by GCN-style baselines
+        (STGCN, STSHN's local passes, ...).
+        """
+        adj = self.adjacency_matrix(diagonal=diagonal, self_loops=True)
+        degree = adj.sum(axis=1)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+        return adj * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    def to_image(self, values: np.ndarray) -> np.ndarray:
+        """Reshape a per-region vector ``(R,)`` or ``(R, k)`` to grid layout."""
+        values = np.asarray(values)
+        return values.reshape(self.rows, self.cols, *values.shape[1:])
+
+    def from_image(self, image: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_image`."""
+        image = np.asarray(image)
+        return image.reshape(self.rows * self.cols, *image.shape[2:])

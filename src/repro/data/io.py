@@ -1,0 +1,54 @@
+"""CSV persistence for crime event streams.
+
+Records follow the paper's report schema
+``<crime type, timestamp, longitude, latitude>``; one row per report.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .schema import CrimeEvent
+
+__all__ = ["write_events_csv", "read_events_csv"]
+
+_TIMESTAMP_FORMAT = "%Y-%m-%dT%H:%M:%S"
+_FIELDS = ("category", "timestamp", "longitude", "latitude")
+
+
+def write_events_csv(events: Iterable[CrimeEvent], path: str | Path) -> int:
+    """Write events to ``path``; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for event in events:
+            writer.writerow(
+                (
+                    event.category,
+                    event.timestamp.strftime(_TIMESTAMP_FORMAT),
+                    f"{event.longitude:.6f}",
+                    f"{event.latitude:.6f}",
+                )
+            )
+            count += 1
+    return count
+
+
+def read_events_csv(path: str | Path) -> Iterator[CrimeEvent]:
+    """Stream events back from a CSV written by :func:`write_events_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"CSV at {path} missing columns: {sorted(missing)}")
+        for row in reader:
+            yield CrimeEvent(
+                category=row["category"],
+                timestamp=datetime.strptime(row["timestamp"], _TIMESTAMP_FORMAT),
+                longitude=float(row["longitude"]),
+                latitude=float(row["latitude"]),
+            )

@@ -1,0 +1,66 @@
+"""Temporal train/validation/test splitting.
+
+The paper (§IV-A1) splits along the time dimension with a 7:1
+train:test ratio and tunes on a validation set drawn from the last 30
+days of the training span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TemporalSplit", "temporal_split"]
+
+
+@dataclass(frozen=True)
+class TemporalSplit:
+    """Day-index ranges for each split; train is ``[0, train_end)`` etc."""
+
+    train_end: int
+    val_end: int
+    test_end: int
+
+    @property
+    def train_days(self) -> range:
+        return range(0, self.train_end)
+
+    @property
+    def val_days(self) -> range:
+        return range(self.train_end, self.val_end)
+
+    @property
+    def test_days(self) -> range:
+        return range(self.val_end, self.test_end)
+
+    def slice_train(self, tensor: np.ndarray) -> np.ndarray:
+        return tensor[:, : self.train_end]
+
+    def slice_val(self, tensor: np.ndarray) -> np.ndarray:
+        return tensor[:, self.train_end : self.val_end]
+
+    def slice_test(self, tensor: np.ndarray) -> np.ndarray:
+        return tensor[:, self.val_end : self.test_end]
+
+
+def temporal_split(
+    num_days: int, train_ratio: float = 7.0 / 8.0, val_days: int = 30
+) -> TemporalSplit:
+    """Build the paper's split for a ``num_days``-long tensor.
+
+    ``train_ratio`` covers train+val together (the validation tail is
+    carved out of the training span); the remainder is the test period.
+    ``val_days`` shrinks automatically for short synthetic spans so every
+    split stays non-empty.
+    """
+    if num_days < 3:
+        raise ValueError(f"need at least 3 days to split, got {num_days}")
+    boundary = int(round(num_days * train_ratio))
+    boundary = min(max(boundary, 1), num_days - 1)
+    val = min(val_days, max(boundary // 4, 1))
+    train_end = boundary - val
+    if train_end < 1:
+        train_end = 1
+        val = boundary - 1
+    return TemporalSplit(train_end=train_end, val_end=boundary, test_end=num_days)

@@ -1,0 +1,70 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+The paper's reference implementation targets PyTorch on GPU; this package
+provides the subset of functionality ST-HSL and its fifteen baselines need:
+reverse-mode autograd, conv/recurrent/attention layers, optimisers and
+checkpointing.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from . import functional, init
+from .layers import (
+    GRU,
+    BatchNorm2d,
+    Conv1d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    LSTMCell,
+    MultiHeadAttention,
+    ReLU,
+    Tanh,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .ops import conv1d, conv2d
+from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
+from .serialization import load_module, load_state, save_module, save_state
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv1d",
+    "Conv2d",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm2d",
+    "GRUCell",
+    "GRU",
+    "LSTMCell",
+    "MultiHeadAttention",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "clip_grad_norm",
+    "conv1d",
+    "conv2d",
+    "functional",
+    "init",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+]

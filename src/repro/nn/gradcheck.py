@@ -1,0 +1,60 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used heavily by the test suite to validate every primitive op and layer
+against central differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_grad", "gradcheck"]
+
+
+def numeric_grad(
+    fn: Callable[..., Tensor], inputs: Sequence[Tensor], index: int, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    eps: float = 1e-6,
+) -> bool:
+    """Assert analytic gradients match finite differences for each input.
+
+    Raises ``AssertionError`` with the offending index on mismatch.
+    """
+    out = fn(*inputs)
+    out.sum().backward()
+    analytic = [inp.grad.copy() if inp.grad is not None else np.zeros_like(inp.data) for inp in inputs]
+    for inp in inputs:
+        inp.grad = None
+    for idx, inp in enumerate(inputs):
+        if not inp.requires_grad:
+            continue
+        numeric = numeric_grad(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic[idx], numeric, rtol=rtol, atol=atol):
+            worst = np.abs(analytic[idx] - numeric).max()
+            raise AssertionError(f"gradcheck failed for input {idx}: max abs err {worst:.3e}")
+    return True

@@ -1,0 +1,169 @@
+"""Convolution primitives for the autograd engine.
+
+Implements 1-D and 2-D cross-correlation (the deep-learning "convolution")
+via im2col/col2im.  ST-HSL uses 2-D convolutions over the region grid
+(Eq 2 of the paper) and 1-D convolutions over the time axis (Eqs 3 and 5);
+several baselines (ST-ResNet, STGCN, GWN, STDN, DMSTGCN) also build on
+these primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["conv2d", "conv1d"]
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col_indices(
+    height: int, width: int, kh: int, kw: int, stride: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Precompute gather indices mapping an image to patch columns."""
+    sh, sw = stride
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    i0 = np.repeat(np.arange(kh), kw)
+    j0 = np.tile(np.arange(kw), kh)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)  # (kh*kw, out_h*out_w)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
+    """2-D cross-correlation.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Integer or ``(h, w)`` pair.
+
+    Returns
+    -------
+    Tensor of shape ``(N, C_out, H_out, W_out)``.
+    """
+    stride = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+
+    x_data = x.data
+    if ph or pw:
+        x_data = np.pad(x_data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    hp, wp = x_data.shape[2:]
+    rows, cols, out_h, out_w = _im2col_indices(hp, wp, kh, kw, stride)
+
+    # cols_mat: (N, C_in, kh*kw, out_h*out_w) -> (N, C_in*kh*kw, L)
+    patches = x_data[:, :, rows, cols]
+    cols_mat = patches.reshape(n, c_in * kh * kw, out_h * out_w)
+    w_mat = weight.data.reshape(c_out, c_in * kh * kw)
+    out_data = np.einsum("ok,nkl->nol", w_mat, cols_mat)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1)
+    out_data = out_data.reshape(n, c_out, out_h, out_w)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad.reshape(n, c_out, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            Tensor._accum(bias, grad.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            gw = np.einsum("nol,nkl->ok", grad, cols_mat)
+            Tensor._accum(weight, gw.reshape(weight.data.shape))
+        if x.requires_grad:
+            gcols = np.einsum("ok,nol->nkl", w_mat, grad)
+            gcols = gcols.reshape(n, c_in, kh * kw, out_h * out_w)
+            gx_pad = np.zeros((n, c_in, hp, wp), dtype=x.data.dtype)
+            np.add.at(gx_pad, (slice(None), slice(None), rows, cols), gcols)
+            gx = gx_pad[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_pad
+            Tensor._accum(x, gx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> Tensor:
+    """1-D cross-correlation with optional dilation.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, L)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, K)``.
+    bias:
+        Optional bias ``(C_out,)``.
+    dilation:
+        Spacing between kernel taps; dilated causal convolutions are the
+        temporal mechanism in the Graph WaveNet baseline.
+    """
+    n, c_in, length = x.shape
+    c_out, c_in_w, k = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+
+    x_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
+    lp = x_data.shape[2]
+    span = (k - 1) * dilation + 1
+    out_l = (lp - span) // stride + 1
+    if out_l <= 0:
+        raise ValueError(f"conv1d output length {out_l} <= 0 (L={length}, k={k}, dilation={dilation})")
+
+    taps = dilation * np.arange(k).reshape(-1, 1)
+    starts = stride * np.arange(out_l).reshape(1, -1)
+    idx = taps + starts  # (k, out_l)
+
+    patches = x_data[:, :, idx]  # (N, C_in, k, out_l)
+    cols_mat = patches.reshape(n, c_in * k, out_l)
+    w_mat = weight.data.reshape(c_out, c_in * k)
+    out_data = np.einsum("ok,nkl->nol", w_mat, cols_mat)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad
+        if bias is not None and bias.requires_grad:
+            Tensor._accum(bias, grad.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            gw = np.einsum("nol,nkl->ok", grad, cols_mat)
+            Tensor._accum(weight, gw.reshape(weight.data.shape))
+        if x.requires_grad:
+            gcols = np.einsum("ok,nol->nkl", w_mat, grad)
+            gcols = gcols.reshape(n, c_in, k, out_l)
+            gx_pad = np.zeros((n, c_in, lp), dtype=x.data.dtype)
+            np.add.at(gx_pad, (slice(None), slice(None), idx), gcols)
+            gx = gx_pad[:, :, padding : padding + length] if padding else gx_pad
+            Tensor._accum(x, gx)
+
+    return Tensor._make(out_data, parents, backward)

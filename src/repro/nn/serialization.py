@@ -1,0 +1,32 @@
+"""Model checkpointing: save/load state dicts as compressed npz archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
+    """Persist a state dict to ``path`` (npz).  Keys may contain dots."""
+    np.savez_compressed(str(path), **state)
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    with np.load(str(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Save a module's parameters (architecture is reconstructed by code)."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    module.load_state_dict(load_state(path))
+    return module

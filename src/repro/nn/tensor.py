@@ -1,0 +1,567 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate.  The paper's
+reference implementation is written in PyTorch; that library is not
+available in this environment, so we provide a compatible-in-spirit
+``Tensor`` class that records a dynamic computation graph and computes
+gradients by reverse-mode accumulation.
+
+Design notes
+------------
+* Every differentiable operation creates a new ``Tensor`` whose
+  ``_backward`` closure knows how to push the output gradient to the
+  operation's inputs.  ``Tensor.backward`` walks the graph once in reverse
+  topological order.
+* Gradients of broadcast operands are reduced back to the operand shape by
+  :func:`unbroadcast`, mirroring numpy broadcasting semantics exactly.
+* Arrays are stored as ``float64`` by default, which keeps finite-difference
+  gradient checks (see ``tests/nn/test_gradcheck.py``) tight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Mirrors ``torch.no_grad()``: inside the block, results of operations on
+    tensors that require grad do not require grad themselves.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations record gradient information."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Summing over axes that were broadcast is the adjoint of the broadcast
+    itself; this is what makes ``a + b`` differentiable for mismatched
+    shapes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes numpy prepended during broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("pass Tensor.data, not Tensor, to _as_array")
+    arr = np.asarray(value, dtype=dtype)
+    if arr.dtype.kind in "iub":
+        arr = arr.astype(np.float64)
+    return arr
+
+
+class Tensor:
+    """A numpy-backed array node in a dynamic autograd graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[["Tensor"], None] | None,
+    ) -> "Tensor":
+        """Create an op output wired to ``parents`` via ``backward``.
+
+        ``backward`` receives the output tensor and must accumulate into
+        each parent's ``grad``.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward and (lambda out=out: backward(out))
+        return out
+
+    @staticmethod
+    def _accum(parent: "Tensor", grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``parent.grad`` respecting broadcasting."""
+        if not parent.requires_grad:
+            return
+        grad = unbroadcast(grad, parent.data.shape)
+        if parent.grad is None:
+            parent.grad = grad.copy()
+        else:
+            parent.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        ``grad`` defaults to ones (so a scalar loss needs no argument).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=self.data.dtype).reshape(self.data.shape).copy()
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+            # Free graph references as we go so large graphs do not leak.
+            node._backward = None
+            node._parents = ()
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad)
+            Tensor._accum(other, out.grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad)
+            Tensor._accum(other, -out.grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * other.data)
+            Tensor._accum(other, out.grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad / other.data)
+            Tensor._accum(other, -out.grad * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, -out.grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    # Comparison operators return plain boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        result = np.exp(self.data)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * result)
+
+        return Tensor._make(result, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        result = np.sqrt(self.data)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad / (2.0 * result))
+
+        return Tensor._make(result, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * np.sign(self.data))
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        result = np.tanh(self.data)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * (1.0 - result ** 2))
+
+        return Tensor._make(result, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        result = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * result * (1.0 - result))
+
+        return Tensor._make(result, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        """LeakyReLU, the activation used throughout ST-HSL (paper σ(·))."""
+        factor = np.where(self.data > 0, 1.0, negative_slope)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * factor)
+
+        return Tensor._make(self.data * factor, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            Tensor._accum(self, np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            Tensor._accum(self, np.broadcast_to(grad, self.data.shape) / count)
+
+        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        result = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            expanded = result
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+                expanded = np.expand_dims(result, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient evenly among ties, matching subgradient choice.
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            Tensor._accum(self, mask * grad)
+
+        return Tensor._make(result, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad.reshape(self.data.shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes = axes or None
+
+        if axes is None:
+            inverse = None
+        else:
+            inverse = tuple(np.argsort(axes))
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad.transpose(inverse) if inverse else out.grad.transpose())
+
+        return Tensor._make(self.data.transpose(axes) if axes else self.data.T, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, np.squeeze(out.grad, axis=axis))
+
+        return Tensor._make(np.expand_dims(self.data, axis), (self,), backward)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, np.expand_dims(out.grad, axis=axis))
+
+        return Tensor._make(np.squeeze(self.data, axis=axis), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            Tensor._accum(self, grad)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad with numpy-style ``pad_width`` (list of (before, after))."""
+        slices = tuple(
+            slice(before, before + dim) for (before, _after), dim in zip(pad_width, self.data.shape)
+        )
+
+        def backward(out: Tensor) -> None:
+            Tensor._accum(self, out.grad[slices])
+
+        return Tensor._make(np.pad(self.data, pad_width), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self.data, other.data
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if self.requires_grad:
+                if b.ndim == 1:
+                    ga = np.expand_dims(grad, -1) * b if a.ndim > 1 else np.outer(grad, b)
+                    if a.ndim == 1:
+                        ga = grad * b
+                else:
+                    gb_t = np.swapaxes(b, -1, -2)
+                    ga = (np.expand_dims(grad, -2) if a.ndim == 1 else grad) @ gb_t
+                    if a.ndim == 1:
+                        ga = ga.reshape(a.shape[-1:]) if ga.ndim == 1 else ga[..., 0, :]
+                Tensor._accum(self, ga)
+            if other.requires_grad:
+                if a.ndim == 1:
+                    gb = np.outer(a, grad) if b.ndim == 2 else a * grad
+                elif b.ndim == 1:
+                    gb = np.swapaxes(a, -1, -2) @ np.expand_dims(grad, -1)
+                    gb = gb[..., 0]
+                    if gb.ndim > 1:
+                        gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
+                else:
+                    gb = np.swapaxes(a, -1, -2) @ grad
+                Tensor._accum(other, gb)
+
+        return Tensor._make(a @ b, (self, other), backward)
+
+    def dot(self, other) -> "Tensor":
+        return self @ other
+
+    # ------------------------------------------------------------------
+    # Factory helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.concatenate`` over a sequence of tensors."""
+    tensors = list(tensors)
+    datas = [t.data for t in tensors]
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(out: Tensor) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * out.grad.ndim
+            index[axis] = slice(start, stop)
+            Tensor._accum(tensor, out.grad[tuple(index)])
+
+    return Tensor._make(np.concatenate(datas, axis=axis), tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack``."""
+    tensors = list(tensors)
+
+    def backward(out: Tensor) -> None:
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for tensor, grad in zip(tensors, grads):
+            Tensor._accum(tensor, np.squeeze(grad, axis=axis))
+
+    return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable ``np.where`` with a constant boolean condition."""
+    a = Tensor._coerce(a)
+    b = Tensor._coerce(b)
+    condition = np.asarray(condition)
+
+    def backward(out: Tensor) -> None:
+        Tensor._accum(a, out.grad * condition)
+        Tensor._accum(b, out.grad * (~condition))
+
+    return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)

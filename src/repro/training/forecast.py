@@ -1,0 +1,72 @@
+"""Multi-step forecasting by recursive rollout (extension feature).
+
+The paper's task is single-step (predict day T+1).  Police-dispatch
+planning often needs a multi-day outlook, so we extend any trained
+single-step forecaster to an ``h``-day horizon by feeding each
+(normalised) prediction back into the input window — the standard
+recursive strategy for autoregressive forecasters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .windows import WindowDataset
+
+__all__ = ["recursive_forecast", "evaluate_horizon"]
+
+
+def recursive_forecast(model, window: np.ndarray, horizon: int) -> np.ndarray:
+    """Roll a single-step model forward ``horizon`` days.
+
+    ``window`` is a normalised ``(R, W, C)`` history; the return value is
+    ``(horizon, R, C)`` of normalised predictions, where prediction ``k``
+    conditioned on the original history plus predictions ``0..k-1``.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    history = np.array(window, copy=True)
+    outputs = []
+    for _ in range(horizon):
+        prediction = model.predict(history)
+        outputs.append(prediction)
+        # Slide the window: drop the oldest day, append the prediction.
+        history = np.concatenate([history[:, 1:, :], prediction[:, None, :]], axis=1)
+    return np.stack(outputs)
+
+
+def evaluate_horizon(
+    model,
+    windows: WindowDataset,
+    horizon: int,
+    split: str = "test",
+) -> dict[int, dict[str, float]]:
+    """Masked MAE/MAPE per forecast step over a split.
+
+    Only days with ``horizon`` subsequent ground-truth days inside the
+    split contribute, so every step is evaluated on the same anchors.
+    """
+    from .metrics import masked_mae, masked_mape  # local import avoids cycle
+
+    dataset = windows.dataset
+    days = list(windows._days(split))
+    anchors = [d for d in days if d + horizon - 1 <= days[-1]]
+    if not anchors:
+        raise ValueError(f"split {split!r} too short for horizon {horizon}")
+
+    per_step_preds: dict[int, list[np.ndarray]] = {k: [] for k in range(horizon)}
+    per_step_targets: dict[int, list[np.ndarray]] = {k: [] for k in range(horizon)}
+    normalized = dataset.normalized()
+    for day in anchors:
+        window = normalized[:, day - windows.window : day, :]
+        rolled = recursive_forecast(model, window, horizon)
+        for k in range(horizon):
+            per_step_preds[k].append(windows.denormalize(rolled[k]))
+            per_step_targets[k].append(dataset.tensor[:, day + k, :])
+
+    out: dict[int, dict[str, float]] = {}
+    for k in range(horizon):
+        pred = np.stack(per_step_preds[k])
+        target = np.stack(per_step_targets[k])
+        out[k + 1] = {"mae": masked_mae(pred, target), "mape": masked_mape(pred, target)}
+    return out

@@ -1,0 +1,34 @@
+"""Common forecasting-model interface shared by ST-HSL and all baselines.
+
+A forecasting model maps a normalised history window ``(R, W, C)`` to a
+normalised next-day prediction ``(R, C)``.  The trainer only relies on
+``training_loss`` and ``predict``, so models are free to add auxiliary
+objectives (ST-HSL's self-supervision) by overriding ``training_loss``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+
+__all__ = ["ForecastModel"]
+
+
+class ForecastModel(nn.Module):
+    """Base class for next-day crime forecasters."""
+
+    def forward(self, window: np.ndarray) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def training_loss(self, window: np.ndarray, target: np.ndarray) -> Tensor:
+        """Default supervised objective: mean squared error."""
+        return F.mse_loss(self.forward(window), target, reduction="mean")
+
+    def predict(self, window: np.ndarray) -> np.ndarray:
+        """Inference without graph construction."""
+        self.eval()
+        with nn.no_grad():
+            return self.forward(window).data.copy()

@@ -1,0 +1,67 @@
+"""Evaluation metrics: MAE and MAPE (paper §IV-A2).
+
+Following the crime-prediction literature (and the released ST-HSL
+evaluation code), both metrics are computed over cells with observed
+crime occurrence (``target > 0``).  Unmasked variants are exposed for
+completeness.  Lower is better for both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "mape", "masked_mae", "masked_mape", "rmse", "metric_frame"]
+
+
+def _validate(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    return pred, target
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error over all cells."""
+    pred, target = _validate(pred, target)
+    return float(np.abs(pred - target).mean())
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error over all cells."""
+    pred, target = _validate(pred, target)
+    return float(np.sqrt(((pred - target) ** 2).mean()))
+
+
+def masked_mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """MAE over cells with crime occurrence; NaN when no cell qualifies."""
+    pred, target = _validate(pred, target)
+    mask = target > 0
+    if not mask.any():
+        return float("nan")
+    return float(np.abs(pred[mask] - target[mask]).mean())
+
+
+def masked_mape(pred: np.ndarray, target: np.ndarray) -> float:
+    """MAPE over cells with crime occurrence; NaN when no cell qualifies."""
+    pred, target = _validate(pred, target)
+    mask = target > 0
+    if not mask.any():
+        return float("nan")
+    return float((np.abs(pred[mask] - target[mask]) / target[mask]).mean())
+
+
+def mape(pred: np.ndarray, target: np.ndarray, floor: float = 1.0) -> float:
+    """Unmasked MAPE with a denominator floor (for zero-heavy tensors)."""
+    pred, target = _validate(pred, target)
+    denom = np.maximum(np.abs(target), floor)
+    return float((np.abs(pred - target) / denom).mean())
+
+
+def metric_frame(pred: np.ndarray, target: np.ndarray) -> dict[str, float]:
+    """All headline metrics in one dict (the paper reports MAE + MAPE)."""
+    return {
+        "mae": masked_mae(pred, target),
+        "mape": masked_mape(pred, target),
+        "rmse": rmse(pred, target),
+    }

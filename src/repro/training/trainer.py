@@ -1,0 +1,152 @@
+"""Training loop with validation-based early stopping.
+
+Implements Algorithm 1 of the paper generically: every model (ST-HSL or
+baseline) is optimised with Adam under an identical budget, which keeps
+the Table III comparison like-for-like.  Windows are visited in random
+order; gradients are accumulated over ``batch_size`` windows per step
+(the paper searches batch size in {4, 8, 16, 32}).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from .metrics import masked_mae
+from .windows import WindowDataset
+
+__all__ = ["EpochStats", "TrainResult", "Trainer"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    epoch: int
+    train_loss: float
+    val_mae: float
+    seconds: float
+
+
+@dataclass
+class TrainResult:
+    history: list[EpochStats] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_mae: float = float("inf")
+    best_state: dict | None = None
+
+    @property
+    def epoch_seconds(self) -> list[float]:
+        return [stats.seconds for stats in self.history]
+
+
+class Trainer:
+    """Adam trainer with gradient accumulation and early stopping."""
+
+    def __init__(
+        self,
+        model,
+        lr: float = 1e-3,
+        weight_decay: float = 0.0,
+        clip_norm: float = 5.0,
+        batch_size: int = 4,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.optimizer = nn.Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+        self.clip_norm = clip_norm
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        windows: WindowDataset,
+        epochs: int,
+        patience: int | None = None,
+        train_limit: int | None = None,
+        restore_best: bool = True,
+        verbose: bool = False,
+        scheduler=None,
+    ) -> TrainResult:
+        """Train for up to ``epochs`` epochs.
+
+        ``train_limit`` caps windows per epoch (reduced-scale protocol);
+        ``patience`` stops after that many epochs without validation
+        improvement; the best checkpoint is restored on exit.  An optional
+        LR ``scheduler`` (see :mod:`repro.nn.optim`) is stepped once per
+        epoch.
+        """
+        result = TrainResult()
+        stale = 0
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            train_loss = self._train_epoch(windows, train_limit)
+            if scheduler is not None:
+                scheduler.step()
+            val_mae = self.validate(windows)
+            seconds = time.perf_counter() - start
+            result.history.append(
+                EpochStats(epoch=epoch, train_loss=train_loss, val_mae=val_mae, seconds=seconds)
+            )
+            if verbose:
+                print(f"epoch {epoch}: loss={train_loss:.4f} val_mae={val_mae:.4f} ({seconds:.1f}s)")
+            if val_mae < result.best_val_mae or result.best_state is None:
+                result.best_val_mae = val_mae
+                result.best_epoch = epoch
+                result.best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if patience is not None and stale > patience:
+                    break
+        if restore_best and result.best_state is not None:
+            self.model.load_state_dict(result.best_state)
+        return result
+
+    # ------------------------------------------------------------------
+    def _train_epoch(self, windows: WindowDataset, train_limit: int | None) -> float:
+        self.model.train()
+        losses: list[float] = []
+        pending = 0
+        self.optimizer.zero_grad()
+        for sample in windows.shuffled_train(self._rng, limit=train_limit):
+            loss = self.model.training_loss(sample.window, sample.target)
+            loss.backward()
+            losses.append(float(loss.data))
+            pending += 1
+            if pending == self.batch_size:
+                self._apply_step(pending)
+                pending = 0
+        if pending:
+            self._apply_step(pending)
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _apply_step(self, accumulated: int) -> None:
+        # Average accumulated gradients so the step size is batch-invariant.
+        for param in self.optimizer.params:
+            if param.grad is not None:
+                param.grad /= accumulated
+        if self.clip_norm:
+            nn.clip_grad_norm(self.optimizer.params, self.clip_norm)
+        self.optimizer.step()
+        self.optimizer.zero_grad()
+
+    # ------------------------------------------------------------------
+    def validate(self, windows: WindowDataset) -> float:
+        """Masked MAE (in case counts) over the validation split."""
+        self.model.eval()
+        errors: list[float] = []
+        for sample in windows.samples("val"):
+            pred = windows.denormalize(self.model.predict(sample.window))
+            value = masked_mae(pred, sample.raw_target)
+            if not np.isnan(value):
+                errors.append(value)
+        return float(np.mean(errors)) if errors else float("nan")
+
+    def timed_epoch(self, windows: WindowDataset, train_limit: int | None = None) -> float:
+        """Wall-clock seconds for one training epoch (Table V's measure)."""
+        start = time.perf_counter()
+        self._train_epoch(windows, train_limit)
+        return time.perf_counter() - start

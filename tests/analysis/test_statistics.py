@@ -1,0 +1,111 @@
+"""Statistical comparison machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_ci,
+    daily_errors,
+    paired_comparison,
+)
+from repro.training.evaluation import EvaluationResult
+
+
+def _evaluation(preds, targets):
+    return EvaluationResult(
+        predictions=np.asarray(preds, dtype=float),
+        targets=np.asarray(targets, dtype=float),
+        categories=("A",),
+    )
+
+
+def _paired_fixture(shift=0.0, seed=0, days=40):
+    """Two evaluations of the same targets; model B is `shift` worse."""
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(1, 5, size=(days, 6, 1)).astype(float)
+    noise = rng.normal(0, 0.1, size=targets.shape)
+    eval_a = _evaluation(targets + noise, targets)
+    eval_b = _evaluation(targets + noise + shift, targets)
+    return eval_a, eval_b
+
+
+class TestDailyErrors:
+    def test_length_matches_days(self):
+        eval_a, _ = _paired_fixture()
+        assert daily_errors(eval_a).shape == (40,)
+
+    def test_zero_day_is_nan(self):
+        preds = np.ones((2, 3, 1))
+        targets = np.zeros((2, 3, 1))
+        targets[0] = 1.0
+        errors = daily_errors(_evaluation(preds, targets))
+        assert np.isfinite(errors[0]) and np.isnan(errors[1])
+
+    def test_category_slice(self):
+        rng = np.random.default_rng(0)
+        preds = rng.random((5, 4, 2))
+        targets = rng.integers(1, 3, size=(5, 4, 2)).astype(float)
+        result = EvaluationResult(preds, targets, ("A", "B"))
+        full = daily_errors(result)
+        cat0 = daily_errors(result, category=0)
+        assert not np.allclose(full, cat0)
+
+
+class TestPairedComparison:
+    def test_detects_clear_gap(self):
+        eval_a, eval_b = _paired_fixture(shift=1.0)
+        result = paired_comparison(eval_a, eval_b)
+        assert result.a_better
+        assert result.significant(alpha=0.01)
+        assert result.mean_difference == pytest.approx(-1.0, abs=0.1)
+
+    def test_identical_models_not_significant(self):
+        eval_a, _ = _paired_fixture()
+        result = paired_comparison(eval_a, eval_a)
+        assert not result.significant()
+        assert result.mean_difference == 0.0
+
+    def test_tiny_gap_not_significant(self):
+        # Shift far below the noise floor.
+        eval_a, eval_b = _paired_fixture(shift=1e-4, seed=3)
+        result = paired_comparison(eval_a, eval_b)
+        assert abs(result.mean_difference) < 0.01
+
+    def test_mismatched_days_raise(self):
+        eval_a, _ = _paired_fixture(days=40)
+        eval_c, _ = _paired_fixture(days=10)
+        with pytest.raises(ValueError):
+            paired_comparison(eval_a, eval_c)
+
+    def test_too_few_days_raise(self):
+        eval_a = _evaluation(np.ones((1, 2, 1)), np.ones((1, 2, 1)))
+        with pytest.raises(ValueError):
+            paired_comparison(eval_a, eval_a)
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 1.0, size=200)
+        mean, low, high = bootstrap_ci(values, seed=1)
+        assert low < 5.0 < high
+        assert low < mean < high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 20), seed=2)
+        large = bootstrap_ci(rng.normal(0, 1, 2000), seed=2)
+        assert (large[2] - large[1]) < (small[2] - small[1])
+
+    def test_nan_values_dropped(self):
+        values = np.array([1.0, np.nan, 3.0, np.nan])
+        mean, low, high = bootstrap_ci(values)
+        assert mean == pytest.approx(2.0)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([np.nan, np.nan]))
+
+    def test_deterministic_by_seed(self):
+        values = np.random.default_rng(3).random(50)
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)

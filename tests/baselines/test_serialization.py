@@ -1,0 +1,30 @@
+"""Checkpoint round-trip tests for the entire model zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.data import load_city
+
+DATASET = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
+WINDOW = 10
+TRAINABLE = [n for n in BASELINE_NAMES if n != "ARIMA"]
+
+
+class TestZooSerialization:
+    @pytest.mark.parametrize("name", TRAINABLE)
+    def test_roundtrip_preserves_predictions(self, name, tmp_path):
+        window = np.random.default_rng(0).standard_normal((16, WINDOW, 4))
+        original = build_baseline(name, DATASET, window=WINDOW, hidden=8, seed=0)
+        clone = build_baseline(name, DATASET, window=WINDOW, hidden=8, seed=77)
+        path = tmp_path / f"{name}.npz"
+        nn.save_module(original, path)
+        nn.load_module(clone, path)
+        assert np.allclose(original.predict(window), clone.predict(window))
+
+    @pytest.mark.parametrize("name", TRAINABLE)
+    def test_state_dict_keys_stable(self, name):
+        a = build_baseline(name, DATASET, window=WINDOW, hidden=8, seed=0)
+        b = build_baseline(name, DATASET, window=WINDOW, hidden=8, seed=1)
+        assert set(a.state_dict()) == set(b.state_dict())

@@ -1,0 +1,68 @@
+"""Infomax corruption-strategy tests (shuffle vs noise)."""
+
+import numpy as np
+import pytest
+
+from repro.core import STHSL, STHSLConfig, HypergraphEncoder
+from repro.nn import Tensor
+
+
+def _cfg(**kwargs):
+    base = dict(
+        rows=3, cols=3, num_categories=2, window=6, dim=4, num_hyperedges=6,
+        num_global_temporal_layers=1, dropout=0.0,
+    )
+    base.update(kwargs)
+    return STHSLConfig(**base)
+
+
+class TestCorruptionConfig:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            _cfg(corruption="swap")
+
+    def test_both_strategies_train(self):
+        rng = np.random.default_rng(0)
+        window = rng.standard_normal((9, 6, 2))
+        target = rng.standard_normal((9, 2))
+        for strategy in ("shuffle", "noise"):
+            model = STHSL(_cfg(corruption=strategy), seed=0)
+            loss = model.training_loss(window, target)
+            loss.backward()
+            assert np.isfinite(float(loss.data))
+
+
+class TestEncoderCorruption:
+    def _encoder(self):
+        return HypergraphEncoder(
+            num_nodes=10, num_hyperedges=4, leaky_slope=0.2, rng=np.random.default_rng(1)
+        )
+
+    def test_noise_strategy_differs_from_original(self):
+        enc = self._encoder()
+        nodes = Tensor(np.random.default_rng(2).standard_normal((2, 10, 3)))
+        corrupt = enc.propagate_corrupt(nodes, np.random.default_rng(3), strategy="noise")
+        assert not np.allclose(corrupt.data, enc(nodes).data)
+
+    def test_noise_scale_zero_equals_original(self):
+        enc = self._encoder()
+        nodes = Tensor(np.random.default_rng(2).standard_normal((2, 10, 3)))
+        corrupt = enc.propagate_corrupt(
+            nodes, np.random.default_rng(3), strategy="noise", noise_scale=0.0
+        )
+        assert np.allclose(corrupt.data, enc(nodes).data)
+
+    def test_shuffle_preserves_multiset_of_inputs(self):
+        """Shuffling permutes node identities but keeps the value set."""
+        enc = self._encoder()
+        nodes = np.random.default_rng(4).standard_normal((1, 10, 3))
+        rng = np.random.default_rng(5)
+        permutation = rng.permutation(10)
+        shuffled = nodes[:, permutation, :]
+        assert np.allclose(np.sort(shuffled.reshape(-1)), np.sort(nodes.reshape(-1)))
+
+    def test_unknown_strategy_raises(self):
+        enc = self._encoder()
+        nodes = Tensor(np.zeros((1, 10, 3)))
+        with pytest.raises(ValueError):
+            enc.propagate_corrupt(nodes, np.random.default_rng(0), strategy="flip")

@@ -1,0 +1,174 @@
+"""Integration tests for the assembled ST-HSL model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import STHSL, STHSLConfig
+
+RNG = np.random.default_rng(0)
+
+
+def _cfg(**kwargs):
+    base = dict(
+        rows=4, cols=4, num_categories=2, window=8, dim=4, num_hyperedges=8,
+        num_global_temporal_layers=2, dropout=0.0,
+    )
+    base.update(kwargs)
+    return STHSLConfig(**base)
+
+
+def _window(cfg, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((cfg.num_regions, cfg.window, cfg.num_categories))
+
+
+def _target(cfg, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((cfg.num_regions, cfg.num_categories))
+
+
+class TestForward:
+    def test_output_shapes(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        assert out.prediction.shape == (16, 2)
+        assert out.local.shape == (16, 8, 2, 4)
+        assert out.global_nodes.shape == (8, 32, 4)
+        assert out.global_temporal.shape == (8, 32, 4)
+
+    def test_wrong_geometry_raises(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        with pytest.raises(ValueError):
+            model(np.zeros((9, 8, 2)))
+
+    def test_deterministic_in_eval(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        window = _window(cfg)
+        a = model.predict(window)
+        b = model.predict(window)
+        assert np.array_equal(a, b)
+
+    def test_seed_determines_weights(self):
+        cfg = _cfg()
+        a, b = STHSL(cfg, seed=3), STHSL(cfg, seed=3)
+        assert np.allclose(a.predict(_window(cfg)), b.predict(_window(cfg)))
+
+
+class TestAblationVariants:
+    def test_wo_hyper_has_no_global_branch(self):
+        cfg = _cfg(use_hypergraph=False, use_global=False, use_infomax=False, use_contrastive=False)
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        assert out.global_nodes is None
+        assert out.prediction.shape == (16, 2)
+
+    def test_wo_local(self):
+        cfg = _cfg(use_local=False, use_contrastive=False)
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        assert out.local is None
+        assert out.prediction.shape == (16, 2)
+
+    def test_wo_global_temporal_passthrough(self):
+        cfg = _cfg(use_global_temporal=False)
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        assert np.allclose(out.global_temporal.data, out.global_nodes.data)
+
+    def test_fusion_path(self):
+        cfg = _cfg(fusion=True, use_contrastive=False)
+        model = STHSL(cfg, seed=0)
+        assert model.fusion_layer is not None
+        out = model(_window(cfg))
+        assert out.prediction.shape == (16, 2)
+
+    def test_wo_sconv_skips_spatial(self):
+        cfg = _cfg(use_spatial_conv=False)
+        model = STHSL(cfg, seed=0)
+        assert model.spatial_encoder is None
+
+    def test_wo_tconv_skips_temporal(self):
+        cfg = _cfg(use_temporal_conv=False)
+        model = STHSL(cfg, seed=0)
+        assert model.temporal_encoder is None
+
+
+class TestLoss:
+    def test_loss_components_present(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        loss = model.loss(out, _target(cfg))
+        assert loss.prediction > 0
+        assert loss.infomax > 0
+        assert loss.contrastive > 0
+        assert float(loss.total.data) == pytest.approx(
+            loss.prediction
+            + cfg.lambda_infomax * loss.infomax
+            + cfg.lambda_contrastive * loss.contrastive,
+            rel=1e-9,
+        )
+
+    def test_ssl_terms_zero_when_disabled(self):
+        cfg = _cfg(use_infomax=False, use_contrastive=False)
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        loss = model.loss(out, _target(cfg))
+        assert loss.infomax == 0.0
+        assert loss.contrastive == 0.0
+        assert float(loss.total.data) == pytest.approx(loss.prediction)
+
+    def test_all_parameters_receive_gradients(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        out = model(_window(cfg))
+        model.loss(out, _target(cfg)).total.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_training_reduces_loss(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        window, target = _window(cfg), _target(cfg)
+        opt = nn.Adam(model.parameters(), lr=5e-3)
+        first = None
+        for step in range(30):
+            model.train()
+            loss = model.training_loss(window, target)
+            if first is None:
+                first = float(loss.data)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first
+
+
+class TestInterpretation:
+    def test_hyperedge_relevance_shape(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        rel = model.hyperedge_relevance(_window(cfg))
+        assert rel.shape == (cfg.window, cfg.num_hyperedges, cfg.num_regions * cfg.num_categories)
+        assert np.allclose(rel.sum(axis=2), 1.0)
+
+    def test_relevance_requires_hypergraph(self):
+        cfg = _cfg(use_hypergraph=False, use_global=False, use_infomax=False, use_contrastive=False)
+        model = STHSL(cfg, seed=0)
+        with pytest.raises(RuntimeError):
+            model.hyperedge_relevance(_window(cfg))
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        cfg = _cfg()
+        a, b = STHSL(cfg, seed=0), STHSL(cfg, seed=9)
+        window = _window(cfg)
+        assert not np.allclose(a.predict(window), b.predict(window))
+        path = tmp_path / "sthsl.npz"
+        nn.save_module(a, path)
+        nn.load_module(b, path)
+        assert np.allclose(a.predict(window), b.predict(window))

@@ -1,0 +1,47 @@
+"""Tests for the real-data ingestion path (dataset_from_events)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NYC_CONFIG,
+    SyntheticCrimeGenerator,
+    dataset_from_events,
+    load_city,
+    read_events_csv,
+    write_events_csv,
+)
+
+
+class TestDatasetFromEvents:
+    def test_matches_synthetic_tensor(self):
+        config = NYC_CONFIG.scaled(rows=4, cols=4, num_days=40)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        events = generator.generate_events()
+        dataset = dataset_from_events(events, config)
+        assert np.array_equal(dataset.tensor, generator.generate_tensor())
+
+    def test_split_and_stats_match_loader(self):
+        """The real-data path and the synthetic loader produce identical
+        dataset objects for identical underlying events."""
+        config = NYC_CONFIG.scaled(rows=4, cols=4, num_days=40)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        from_events = dataset_from_events(generator.generate_events(), config)
+        from_loader = load_city("nyc", rows=4, cols=4, num_days=40, seed=0)
+        assert from_events.split == from_loader.split
+        assert from_events.mu == pytest.approx(from_loader.mu)
+        assert from_events.sigma == pytest.approx(from_loader.sigma)
+
+    def test_csv_roundtrip_into_dataset(self, tmp_path):
+        config = NYC_CONFIG.scaled(rows=3, cols=3, num_days=30)
+        generator = SyntheticCrimeGenerator(config, seed=1)
+        path = tmp_path / "reports.csv"
+        write_events_csv(generator.generate_events(), path)
+        dataset = dataset_from_events(read_events_csv(path), config)
+        assert dataset.tensor.sum() == generator.generate_tensor().sum()
+
+    def test_empty_events_gives_zero_tensor(self):
+        config = NYC_CONFIG.scaled(rows=3, cols=3, num_days=30)
+        dataset = dataset_from_events([], config)
+        assert dataset.tensor.sum() == 0
+        assert dataset.sigma == 1.0  # zero-variance guard

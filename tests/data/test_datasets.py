@@ -1,0 +1,44 @@
+"""Dataset assembly tests for load_city."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_city
+
+
+class TestLoadCity:
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            load_city("gotham")
+
+    def test_case_insensitive(self):
+        dataset = load_city("NYC", rows=4, cols=4, num_days=30)
+        assert dataset.config.name == "nyc"
+
+    def test_reduced_scale_shapes(self):
+        dataset = load_city("chicago", rows=5, cols=6, num_days=60, seed=3)
+        assert dataset.tensor.shape == (30, 60, 4)
+        assert dataset.num_regions == 30
+        assert dataset.num_days == 60
+        assert dataset.num_categories == 4
+
+    def test_deterministic_by_seed(self):
+        a = load_city("nyc", rows=4, cols=4, num_days=40, seed=5)
+        b = load_city("nyc", rows=4, cols=4, num_days=40, seed=5)
+        assert np.array_equal(a.tensor, b.tensor)
+
+    def test_zscore_uses_training_stats_only(self):
+        dataset = load_city("nyc", rows=4, cols=4, num_days=80, seed=0)
+        train = dataset.split.slice_train(dataset.tensor)
+        assert dataset.mu == pytest.approx(float(train.mean()))
+        normed = dataset.normalized()
+        # Training slice of the normalised tensor has ~zero mean.
+        assert dataset.split.slice_train(normed).mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_density_matches_module(self):
+        dataset = load_city("nyc", rows=4, cols=4, num_days=50, seed=0)
+        assert dataset.density().shape == (16,)
+
+    def test_categories_exposed(self):
+        dataset = load_city("chicago", rows=4, cols=4, num_days=30)
+        assert dataset.categories == ("Theft", "Battery", "Assault", "Damage")

@@ -1,0 +1,118 @@
+"""Grid segmentation tests, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BoundingBox, GridSegmentation
+
+BOX = BoundingBox(40.0, 41.0, -74.0, -73.0)
+
+
+def _grid(rows=4, cols=5):
+    return GridSegmentation(BOX, rows, cols)
+
+
+class TestRegionMapping:
+    def test_corners(self):
+        grid = _grid()
+        assert grid.region_of(40.0, -74.0) == 0  # south-west -> region 0
+        assert grid.region_of(41.0, -73.0) == grid.num_regions - 1
+
+    def test_outside_returns_minus_one(self):
+        grid = _grid()
+        assert grid.region_of(39.0, -73.5) == -1
+        assert grid.region_of(40.5, -75.0) == -1
+
+    def test_vectorised_matches_scalar(self):
+        grid = _grid()
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(39.5, 41.5, size=200)
+        lons = rng.uniform(-74.5, -72.5, size=200)
+        vector = grid.regions_of(lats, lons)
+        scalar = np.array([grid.region_of(a, b) for a, b in zip(lats, lons)])
+        assert np.array_equal(vector, scalar)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lat=st.floats(min_value=40.0, max_value=41.0, allow_nan=False),
+        lon=st.floats(min_value=-74.0, max_value=-73.0, allow_nan=False),
+    )
+    def test_property_inside_always_valid(self, lat, lon):
+        grid = _grid()
+        region = grid.region_of(lat, lon)
+        assert 0 <= region < grid.num_regions
+
+    @settings(max_examples=50, deadline=None)
+    @given(region=st.integers(min_value=0, max_value=19))
+    def test_property_center_roundtrip(self, region):
+        grid = _grid()
+        lat, lon = grid.cell_center(region)
+        assert grid.region_of(lat, lon) == region
+
+
+class TestTopology:
+    def test_row_col_roundtrip(self):
+        grid = _grid()
+        for region in range(grid.num_regions):
+            row, col = grid.row_col(region)
+            assert grid.region_index(row, col) == region
+
+    def test_row_col_bounds(self):
+        grid = _grid()
+        with pytest.raises(IndexError):
+            grid.row_col(grid.num_regions)
+        with pytest.raises(IndexError):
+            grid.region_index(4, 0)
+
+    def test_neighbors_interior(self):
+        grid = _grid()
+        region = grid.region_index(1, 2)
+        assert len(grid.neighbors(region)) == 4
+        assert len(grid.neighbors(region, diagonal=True)) == 8
+
+    def test_neighbors_corner(self):
+        grid = _grid()
+        assert len(grid.neighbors(0)) == 2
+        assert len(grid.neighbors(0, diagonal=True)) == 3
+
+    def test_adjacency_symmetric(self):
+        adj = _grid().adjacency_matrix()
+        assert np.array_equal(adj, adj.T)
+        assert np.all(np.diag(adj) == 0)
+
+    def test_adjacency_self_loops(self):
+        adj = _grid().adjacency_matrix(self_loops=True)
+        assert np.all(np.diag(adj) == 1)
+
+    def test_normalized_adjacency_rows_bounded(self):
+        norm = _grid().normalized_adjacency()
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9  # spectral radius of GCN operator
+
+    def test_cell_bounds_tile_box(self):
+        grid = _grid(2, 2)
+        total_area = sum(
+            (b.lat_max - b.lat_min) * (b.lon_max - b.lon_min)
+            for b in (grid.cell_bounds(r) for r in range(4))
+        )
+        assert total_area == pytest.approx(1.0)
+
+
+class TestImageLayout:
+    def test_to_image_shape(self):
+        grid = _grid()
+        values = np.arange(grid.num_regions)
+        image = grid.to_image(values)
+        assert image.shape == (4, 5)
+        assert image[1, 2] == grid.region_index(1, 2)
+
+    def test_roundtrip_with_channels(self):
+        grid = _grid()
+        values = np.random.default_rng(1).random((grid.num_regions, 3))
+        assert np.array_equal(grid.from_image(grid.to_image(values)), values)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            GridSegmentation(BOX, 0, 5)

@@ -1,0 +1,73 @@
+"""POI / region-functionality substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NYC_CONFIG,
+    POI_CATEGORIES,
+    SyntheticCrimeGenerator,
+    functionality_similarity,
+    generate_poi_features,
+    poi_for_generator,
+)
+
+
+def _profiles(seed=0, regions=30, categories=4):
+    rng = np.random.default_rng(seed)
+    return rng.gamma(2.0, 5.0, size=(regions, categories))
+
+
+class TestGeneratePoiFeatures:
+    def test_rows_are_distributions(self):
+        poi = generate_poi_features(_profiles(), np.random.default_rng(0))
+        assert poi.shape == (30, len(POI_CATEGORIES))
+        assert np.allclose(poi.sum(axis=1), 1.0)
+        assert np.all(poi >= 0)
+
+    def test_similar_crime_profiles_get_similar_functionality(self):
+        """The coupling property the Figure 8 validation relies on."""
+        profiles = _profiles()
+        profiles[1] = profiles[0] * 1.05  # near-duplicate of region 0
+        poi = generate_poi_features(profiles, np.random.default_rng(1), noise=0.1)
+        twin_sim = functionality_similarity(poi, 0, 1)
+        random_sims = [functionality_similarity(poi, 0, r) for r in range(2, 30)]
+        assert twin_sim > np.mean(random_sims)
+
+    def test_zero_coupling_decouples(self):
+        profiles = _profiles()
+        profiles[1] = profiles[0].copy()
+        poi = generate_poi_features(profiles, np.random.default_rng(2), coupling=0.0, noise=1.0)
+        twin = functionality_similarity(poi, 0, 1)
+        others = [functionality_similarity(poi, 0, r) for r in range(2, 30)]
+        # Without coupling the twin is not systematically more similar.
+        assert twin < max(others)
+
+    def test_deterministic_by_rng(self):
+        a = generate_poi_features(_profiles(), np.random.default_rng(5))
+        b = generate_poi_features(_profiles(), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_constant_profile_handled(self):
+        poi = generate_poi_features(np.ones((5, 3)), np.random.default_rng(0))
+        assert np.all(np.isfinite(poi))
+
+
+class TestPoiForGenerator:
+    def test_shape_matches_city(self):
+        config = NYC_CONFIG.scaled(rows=5, cols=5, num_days=30)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        poi = poi_for_generator(generator, seed=0)
+        assert poi.shape == (25, len(POI_CATEGORIES))
+
+    def test_similarity_bounds(self):
+        config = NYC_CONFIG.scaled(rows=4, cols=4, num_days=30)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        poi = poi_for_generator(generator)
+        sim = functionality_similarity(poi, 0, 5)
+        assert 0.0 <= sim <= 1.0 + 1e-12
+
+    def test_self_similarity_is_one(self):
+        config = NYC_CONFIG.scaled(rows=4, cols=4, num_days=30)
+        poi = poi_for_generator(SyntheticCrimeGenerator(config, seed=0))
+        assert functionality_similarity(poi, 3, 3) == pytest.approx(1.0)

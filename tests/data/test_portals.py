@@ -1,0 +1,153 @@
+"""Portal-format adapter tests, using synthetic portal-style fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.data import NYC_CONFIG, SyntheticCrimeGenerator, dataset_from_events
+from repro.data.portals import (
+    CHICAGO_OFFENSE_MAP,
+    NYC_OFFENSE_MAP,
+    ParseReport,
+    parse_chicago_crimes,
+    parse_nyc_complaints,
+)
+
+
+def _nyc_row(**overrides):
+    row = {
+        "CMPLNT_FR_DT": "03/15/2014",
+        "CMPLNT_FR_TM": "13:45:00",
+        "OFNS_DESC": "ROBBERY",
+        "Latitude": "40.71",
+        "Longitude": "-73.95",
+    }
+    row.update(overrides)
+    return row
+
+
+def _chicago_row(**overrides):
+    row = {
+        "Date": "07/04/2016 09:30:00 PM",
+        "Primary Type": "THEFT",
+        "Latitude": "41.85",
+        "Longitude": "-87.65",
+    }
+    row.update(overrides)
+    return row
+
+
+class TestNycParser:
+    def test_parses_clean_row(self):
+        events = list(parse_nyc_complaints([_nyc_row()]))
+        assert len(events) == 1
+        event = events[0]
+        assert event.category == "Robbery"
+        assert event.timestamp.year == 2014 and event.timestamp.hour == 13
+        assert event.latitude == pytest.approx(40.71)
+
+    def test_offense_aliases_merge(self):
+        rows = [
+            _nyc_row(OFNS_DESC="GRAND LARCENY"),
+            _nyc_row(OFNS_DESC="PETIT LARCENY"),
+            _nyc_row(OFNS_DESC="grand larceny of motor vehicle"),
+        ]
+        events = list(parse_nyc_complaints(rows))
+        assert [e.category for e in events] == ["Larceny"] * 3
+
+    def test_unknown_offense_skipped_and_counted(self):
+        report = ParseReport()
+        events = list(parse_nyc_complaints([_nyc_row(OFNS_DESC="JAYWALKING")], report=report))
+        assert events == []
+        assert report.skipped_offense == 1
+        assert report.total_rows == 1
+
+    def test_blank_coordinates_skipped(self):
+        report = ParseReport()
+        rows = [_nyc_row(Latitude=""), _nyc_row(Longitude="not-a-number")]
+        assert list(parse_nyc_complaints(rows, report=report)) == []
+        assert report.skipped_coordinates == 2
+
+    def test_bad_date_skipped(self):
+        report = ParseReport()
+        assert list(parse_nyc_complaints([_nyc_row(CMPLNT_FR_DT="2014-03-15")], report=report)) == []
+        assert report.skipped_date == 1
+
+    def test_missing_time_defaults_to_midnight(self):
+        events = list(parse_nyc_complaints([_nyc_row(CMPLNT_FR_TM="")]))
+        assert events[0].timestamp.hour == 0
+
+    def test_report_category_counts(self):
+        report = ParseReport()
+        rows = [_nyc_row(), _nyc_row(), _nyc_row(OFNS_DESC="BURGLARY")]
+        list(parse_nyc_complaints(rows, report=report))
+        assert report.offense_counts == {"Robbery": 2, "Burglary": 1}
+
+    def test_csv_file_source(self, tmp_path):
+        path = tmp_path / "complaints.csv"
+        path.write_text(
+            "CMPLNT_FR_DT,CMPLNT_FR_TM,OFNS_DESC,Latitude,Longitude\n"
+            "01/02/2014,08:00:00,BURGLARY,40.7,-73.9\n"
+        )
+        events = list(parse_nyc_complaints(path))
+        assert len(events) == 1
+        assert events[0].category == "Burglary"
+
+
+class TestChicagoParser:
+    def test_parses_am_pm_dates(self):
+        events = list(parse_chicago_crimes([_chicago_row()]))
+        assert events[0].timestamp.hour == 21  # 9:30 PM
+
+    def test_category_map(self):
+        rows = [
+            _chicago_row(**{"Primary Type": offense})
+            for offense in ("THEFT", "BATTERY", "ASSAULT", "CRIMINAL DAMAGE")
+        ]
+        categories = [e.category for e in parse_chicago_crimes(rows)]
+        assert categories == ["Theft", "Battery", "Assault", "Damage"]
+
+    def test_dirty_rows_skipped(self):
+        report = ParseReport()
+        rows = [
+            _chicago_row(**{"Primary Type": "NARCOTICS"}),
+            _chicago_row(Latitude=""),
+            _chicago_row(Date="bad"),
+            _chicago_row(),
+        ]
+        events = list(parse_chicago_crimes(rows, report=report))
+        assert len(events) == 1
+        assert report.parsed == 1
+        assert report.total_rows == 4
+
+    def test_custom_offense_map(self):
+        rows = [_chicago_row(**{"Primary Type": "NARCOTICS"})]
+        events = list(parse_chicago_crimes(rows, offense_map={"NARCOTICS": "Drugs"}))
+        assert events[0].category == "Drugs"
+
+
+class TestEndToEnd:
+    def test_portal_rows_to_dataset(self):
+        """Portal rows flow into a trainable CrimeDataset."""
+        config = NYC_CONFIG.scaled(rows=4, cols=4, num_days=40)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        reverse_map = {
+            "Burglary": "BURGLARY", "Larceny": "GRAND LARCENY",
+            "Robbery": "ROBBERY", "Assault": "FELONY ASSAULT",
+        }
+        rows = [
+            {
+                "CMPLNT_FR_DT": event.timestamp.strftime("%m/%d/%Y"),
+                "CMPLNT_FR_TM": event.timestamp.strftime("%H:%M:%S"),
+                "OFNS_DESC": reverse_map[event.category],
+                "Latitude": f"{event.latitude:.6f}",
+                "Longitude": f"{event.longitude:.6f}",
+            }
+            for event in generator.generate_events()
+        ]
+        dataset = dataset_from_events(parse_nyc_complaints(rows), config)
+        assert dataset.tensor.sum() == generator.generate_tensor().sum()
+        assert np.array_equal(dataset.tensor, generator.generate_tensor())
+
+    def test_offense_maps_cover_paper_categories(self):
+        assert set(NYC_OFFENSE_MAP.values()) == {"Burglary", "Larceny", "Robbery", "Assault"}
+        assert set(CHICAGO_OFFENSE_MAP.values()) == {"Theft", "Battery", "Assault", "Damage"}

@@ -1,0 +1,68 @@
+"""Schema validation tests: bounding boxes and city configurations."""
+
+from datetime import date
+
+import pytest
+
+from repro.data import CHICAGO_CONFIG, NYC_CONFIG, BoundingBox, CityConfig
+
+
+class TestBoundingBox:
+    def test_contains_inside(self):
+        box = BoundingBox(0.0, 1.0, 10.0, 11.0)
+        assert box.contains(0.5, 10.5)
+
+    def test_contains_boundary(self):
+        box = BoundingBox(0.0, 1.0, 10.0, 11.0)
+        assert box.contains(0.0, 10.0) and box.contains(1.0, 11.0)
+
+    def test_excludes_outside(self):
+        box = BoundingBox(0.0, 1.0, 10.0, 11.0)
+        assert not box.contains(2.0, 10.5)
+        assert not box.contains(0.5, 12.0)
+
+    def test_invalid_ordering_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 10.0, 11.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 1.0, 11.0, 10.0)
+
+
+class TestCityConfig:
+    def test_paper_table2_nyc(self):
+        assert NYC_CONFIG.num_regions == 256
+        assert NYC_CONFIG.categories == ("Burglary", "Larceny", "Robbery", "Assault")
+        assert NYC_CONFIG.total_cases == (31_799, 85_899, 33_453, 40_429)
+        assert NYC_CONFIG.start_date == date(2014, 1, 1)
+        assert NYC_CONFIG.num_days == 730
+
+    def test_paper_table2_chicago(self):
+        assert CHICAGO_CONFIG.num_regions == 168
+        assert CHICAGO_CONFIG.categories == ("Theft", "Battery", "Assault", "Damage")
+        assert CHICAGO_CONFIG.total_cases == (124_630, 99_389, 37_972, 59_886)
+        assert CHICAGO_CONFIG.num_days == 731
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            CityConfig(
+                name="bad",
+                bbox=BoundingBox(0, 1, 0, 1),
+                rows=2,
+                cols=2,
+                start_date=date(2020, 1, 1),
+                num_days=10,
+                categories=("A", "B"),
+                total_cases=(1,),
+            )
+
+    def test_scaled_preserves_sparsity(self):
+        reduced = NYC_CONFIG.scaled(rows=8, cols=8, num_days=73)
+        # cases per (region, day) should be roughly invariant
+        original_rate = sum(NYC_CONFIG.total_cases) / (256 * 730)
+        reduced_rate = sum(reduced.total_cases) / (64 * 73)
+        assert reduced_rate == pytest.approx(original_rate, rel=0.01)
+
+    def test_scaled_keeps_categories(self):
+        reduced = CHICAGO_CONFIG.scaled(rows=4, cols=4, num_days=50)
+        assert reduced.categories == CHICAGO_CONFIG.categories
+        assert reduced.num_regions == 16

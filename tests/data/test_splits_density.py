@@ -1,0 +1,102 @@
+"""Temporal split and density-degree tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    SPARSE_BINS,
+    density_degree,
+    density_degree_per_category,
+    density_histogram,
+    group_regions_by_density,
+    load_city,
+    temporal_split,
+)
+
+
+class TestTemporalSplit:
+    def test_paper_ratio(self):
+        split = temporal_split(730)
+        # 7:1 train+val : test
+        assert split.test_end - split.val_end == pytest.approx(730 / 8, abs=1)
+        assert split.val_end - split.train_end == 30  # last 30 days of training span
+
+    def test_splits_are_disjoint_and_cover(self):
+        split = temporal_split(240)
+        days = list(split.train_days) + list(split.val_days) + list(split.test_days)
+        assert days == list(range(240))
+
+    def test_short_span_shrinks_val(self):
+        split = temporal_split(16)
+        assert len(split.val_days) >= 1
+        assert len(split.train_days) >= 1
+        assert len(split.test_days) >= 1
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            temporal_split(2)
+
+    def test_slicing_shapes(self):
+        tensor = np.zeros((5, 80, 2))
+        split = temporal_split(80)
+        total = (
+            split.slice_train(tensor).shape[1]
+            + split.slice_val(tensor).shape[1]
+            + split.slice_test(tensor).shape[1]
+        )
+        assert total == 80
+
+    @settings(max_examples=40, deadline=None)
+    @given(num_days=st.integers(min_value=3, max_value=2000))
+    def test_property_valid_for_any_span(self, num_days):
+        split = temporal_split(num_days)
+        assert 0 < split.train_end < split.val_end < split.test_end == num_days
+
+
+class TestDensity:
+    def test_all_zero_region(self):
+        tensor = np.zeros((3, 10, 2))
+        tensor[0, :, 0] = 1.0
+        density = density_degree(tensor)
+        assert density[0] == 1.0
+        assert density[1] == 0.0
+
+    def test_per_category_shape(self):
+        tensor = np.zeros((3, 10, 2))
+        tensor[1, :5, 1] = 2.0
+        density = density_degree_per_category(tensor)
+        assert density.shape == (3, 2)
+        assert density[1, 1] == 0.5
+        assert density[1, 0] == 0.0
+
+    def test_histogram_fractions_sum_to_one(self):
+        dataset = load_city("nyc", rows=6, cols=6, num_days=100, seed=0)
+        hist = density_histogram(dataset.tensor)
+        assert np.allclose(hist["counts"].sum(axis=0), 1.0)
+
+    def test_grouping_excludes_zero_density(self):
+        tensor = np.zeros((4, 10, 1))
+        tensor[0, :2, 0] = 1.0  # density 0.2 -> first bin
+        tensor[1, :4, 0] = 1.0  # density 0.4 -> second bin
+        tensor[2, :9, 0] = 1.0  # density 0.9 -> neither sparse bin
+        groups = group_regions_by_density(tensor, SPARSE_BINS)
+        assert list(groups[(0.0, 0.25)]) == [0]
+        assert list(groups[(0.25, 0.5)]) == [1]
+        # region 3 has zero density: interval is half-open (0, 0.25]
+        assert 3 not in groups[(0.0, 0.25)]
+
+    def test_boundary_inclusive_on_right(self):
+        tensor = np.zeros((1, 4, 1))
+        tensor[0, 0, 0] = 1.0  # density exactly 0.25
+        groups = group_regions_by_density(tensor, SPARSE_BINS)
+        assert list(groups[(0.0, 0.25)]) == [0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.integers(min_value=0, max_value=10_000))
+    def test_property_density_in_unit_interval(self, data):
+        rng = np.random.default_rng(data)
+        tensor = rng.poisson(0.3, size=(6, 20, 2)).astype(float)
+        density = density_degree(tensor)
+        assert np.all((density >= 0) & (density <= 1))

@@ -1,0 +1,110 @@
+"""Synthetic generator tests: calibration to the paper's dataset properties."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NYC_CONFIG,
+    SyntheticCrimeGenerator,
+    density_degree_per_category,
+    load_city,
+    spatial_intensity_field,
+    temporal_profile,
+)
+
+SMALL = NYC_CONFIG.scaled(rows=6, cols=6, num_days=120)
+
+
+class TestSpatialField:
+    def test_normalised(self):
+        field = spatial_intensity_field(8, 8, np.random.default_rng(0))
+        assert field.shape == (64,)
+        assert field.sum() == pytest.approx(1.0)
+        assert np.all(field > 0)
+
+    def test_skew_parameter_fattens_tail(self):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        mild = spatial_intensity_field(16, 16, rng_a, skew=0.5)
+        heavy = spatial_intensity_field(16, 16, rng_b, skew=3.0)
+        assert heavy.max() > mild.max()  # same noise, sharper tail
+
+    def test_deterministic_given_rng_seed(self):
+        a = spatial_intensity_field(5, 5, np.random.default_rng(2))
+        b = spatial_intensity_field(5, 5, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+
+class TestTemporalProfile:
+    def test_mean_one(self):
+        profile = temporal_profile(365, np.random.default_rng(3))
+        assert profile.mean() == pytest.approx(1.0)
+        assert np.all(profile > 0)
+
+    def test_weekly_periodicity_detectable(self):
+        profile = temporal_profile(700, np.random.default_rng(4), noise_scale=0.0)
+        spectrum = np.abs(np.fft.rfft(profile - profile.mean()))
+        freqs = np.fft.rfftfreq(700)
+        weekly_bin = np.argmin(np.abs(freqs - 1.0 / 7.0))
+        assert spectrum[weekly_bin] > 0.5 * spectrum.max()
+
+
+class TestGenerator:
+    def test_tensor_shape_and_nonnegative(self):
+        tensor = SyntheticCrimeGenerator(SMALL, seed=0).generate_tensor()
+        assert tensor.shape == (36, 120, 4)
+        assert np.all(tensor >= 0)
+        assert np.all(tensor == tensor.astype(int))
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticCrimeGenerator(SMALL, seed=7).generate_tensor()
+        b = SyntheticCrimeGenerator(SMALL, seed=7).generate_tensor()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCrimeGenerator(SMALL, seed=1).generate_tensor()
+        b = SyntheticCrimeGenerator(SMALL, seed=2).generate_tensor()
+        assert not np.array_equal(a, b)
+
+    def test_volume_calibration_table2(self):
+        """Expected per-category totals match Table II within sampling noise."""
+        dataset = load_city("nyc", seed=0)
+        observed = dataset.category_totals()
+        for name, expected in zip(NYC_CONFIG.categories, NYC_CONFIG.total_cases):
+            assert observed[name] == pytest.approx(expected, rel=0.05)
+
+    def test_sparsity_calibration_figure1(self):
+        """Most regions have density degree <= 0.25, as in Figure 1."""
+        dataset = load_city("nyc", seed=0)
+        density = density_degree_per_category(dataset.tensor)
+        frac_sparse = (density <= 0.25).mean()
+        assert frac_sparse > 0.5
+
+    def test_skew_calibration_figure2(self):
+        """Region totals are heavy-tailed: top decile holds a multiple of
+        its proportional share (Figure 2's power-law shape)."""
+        dataset = load_city("nyc", seed=0)
+        totals = np.sort(dataset.tensor.sum(axis=(1, 2)))
+        top_decile_share = totals[-len(totals) // 10 :].sum() / totals.sum()
+        assert top_decile_share > 0.15  # 10% of regions >> 10% of crime
+
+    def test_category_correlation_present(self):
+        """Spatial profiles of categories are positively correlated."""
+        dataset = load_city("nyc", seed=0)
+        per_region = dataset.tensor.sum(axis=1)  # (R, C)
+        corr = np.corrcoef(per_region.T)
+        off_diag = corr[np.triu_indices(4, k=1)]
+        assert off_diag.mean() > 0.2
+
+    def test_events_match_tensor(self):
+        generator = SyntheticCrimeGenerator(NYC_CONFIG.scaled(4, 4, 20), seed=0)
+        tensor = generator.generate_tensor()
+        events = generator.generate_events(tensor)
+        assert len(events) == int(tensor.sum())
+
+    def test_events_fall_in_correct_cells(self):
+        config = NYC_CONFIG.scaled(4, 4, 20)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        events = generator.generate_events()
+        for event in events[:50]:
+            region = generator.grid.region_of(event.latitude, event.longitude)
+            assert 0 <= region < config.num_regions

@@ -1,0 +1,124 @@
+"""Tensorisation, z-score utilities and CSV round-trip tests."""
+
+from datetime import date, datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    BoundingBox,
+    CrimeEvent,
+    GridSegmentation,
+    NYC_CONFIG,
+    SyntheticCrimeGenerator,
+    events_to_tensor,
+    inverse_zscore,
+    read_events_csv,
+    write_events_csv,
+    zscore,
+    zscore_stats,
+)
+
+BOX = BoundingBox(40.0, 41.0, -74.0, -73.0)
+GRID = GridSegmentation(BOX, 2, 2)
+START = date(2020, 1, 1)
+
+
+def _event(category="A", day=0, lat=40.25, lon=-73.75):
+    return CrimeEvent(
+        category=category,
+        timestamp=datetime(2020, 1, 1 + day, 12, 0, 0),
+        longitude=lon,
+        latitude=lat,
+    )
+
+
+class TestEventsToTensor:
+    def test_counts_accumulate(self):
+        events = [_event(), _event(), _event(day=1)]
+        tensor = events_to_tensor(events, GRID, START, 3, ["A"])
+        region = GRID.region_of(40.25, -73.75)
+        assert tensor[region, 0, 0] == 2
+        assert tensor[region, 1, 0] == 1
+        assert tensor.sum() == 3
+
+    def test_unknown_category_dropped(self):
+        tensor = events_to_tensor([_event(category="Z")], GRID, START, 2, ["A"])
+        assert tensor.sum() == 0
+
+    def test_out_of_span_dropped(self):
+        tensor = events_to_tensor([_event(day=5)], GRID, START, 3, ["A"])
+        assert tensor.sum() == 0
+
+    def test_out_of_bbox_dropped(self):
+        tensor = events_to_tensor([_event(lat=50.0)], GRID, START, 2, ["A"])
+        assert tensor.sum() == 0
+
+    def test_category_axis_ordering(self):
+        events = [_event(category="B")]
+        tensor = events_to_tensor(events, GRID, START, 2, ["A", "B"])
+        assert tensor[:, :, 0].sum() == 0
+        assert tensor[:, :, 1].sum() == 1
+
+    def test_roundtrip_with_generator(self):
+        """events -> tensor reproduces the generator's tensor exactly."""
+        config = NYC_CONFIG.scaled(3, 3, 15)
+        generator = SyntheticCrimeGenerator(config, seed=0)
+        original = generator.generate_tensor()
+        events = generator.generate_events(original)
+        rebuilt = events_to_tensor(
+            events, generator.grid, config.start_date, config.num_days, config.categories
+        )
+        assert np.array_equal(rebuilt, original)
+
+
+class TestZScore:
+    def test_stats_of_constant(self):
+        mu, sigma = zscore_stats(np.full((2, 3, 4), 7.0))
+        assert mu == 7.0 and sigma == 1.0  # zero std is guarded to 1
+
+    def test_normalised_moments(self):
+        data = np.random.default_rng(0).poisson(3.0, size=(4, 50, 2)).astype(float)
+        mu, sigma = zscore_stats(data)
+        normed = zscore(data, mu, sigma)
+        assert normed.mean() == pytest.approx(0.0, abs=1e-9)
+        assert normed.std() == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False), min_size=2, max_size=30
+        )
+    )
+    def test_property_inverse_roundtrip(self, values):
+        data = np.asarray(values).reshape(1, -1, 1)
+        mu, sigma = zscore_stats(data)
+        assert np.allclose(inverse_zscore(zscore(data, mu, sigma), mu, sigma), data)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_events(self, tmp_path):
+        config = NYC_CONFIG.scaled(3, 3, 10)
+        generator = SyntheticCrimeGenerator(config, seed=1)
+        events = generator.generate_events()
+        path = tmp_path / "events.csv"
+        written = write_events_csv(events, path)
+        assert written == len(events)
+        recovered = list(read_events_csv(path))
+        assert len(recovered) == len(events)
+        assert recovered[0].category == events[0].category
+        assert recovered[0].timestamp == events[0].timestamp
+        assert recovered[0].latitude == pytest.approx(events[0].latitude, abs=1e-6)
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("category,timestamp\nA,2020-01-01T00:00:00\n")
+        with pytest.raises(ValueError):
+            list(read_events_csv(path))
+
+    def test_empty_file_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_events_csv([], path) == 0
+        assert list(read_events_csv(path)) == []

@@ -1,0 +1,180 @@
+"""Layer tests: shapes, modes, gradients, and learning sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.gradcheck import gradcheck
+
+RNG = np.random.default_rng(5)
+
+
+def _t(*shape):
+    return Tensor(RNG.standard_normal(shape), requires_grad=True)
+
+
+def _rng():
+    return np.random.default_rng(6)
+
+
+class TestLinear:
+    def test_shape(self):
+        layer = nn.Linear(4, 7, _rng())
+        assert layer(_t(3, 4)).shape == (3, 7)
+
+    def test_batched_leading_dims(self):
+        layer = nn.Linear(4, 2, _rng())
+        assert layer(_t(5, 6, 4)).shape == (5, 6, 2)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, _rng(), bias=False)
+        assert layer.bias is None
+        zero = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(zero.data, 0.0)
+
+    def test_gradcheck(self):
+        layer = nn.Linear(3, 2, _rng())
+        x = _t(4, 3)
+        gradcheck(lambda x: layer(x), [x])
+
+    def test_deterministic_init(self):
+        a = nn.Linear(4, 4, np.random.default_rng(9))
+        b = nn.Linear(4, 4, np.random.default_rng(9))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestConvLayers:
+    def test_conv2d_shape(self):
+        layer = nn.Conv2d(3, 8, 3, _rng(), padding=1)
+        assert layer(_t(2, 3, 5, 5)).shape == (2, 8, 5, 5)
+
+    def test_conv1d_shape(self):
+        layer = nn.Conv1d(2, 4, 3, _rng(), padding=1)
+        assert layer(_t(2, 2, 10)).shape == (2, 4, 10)
+
+    def test_conv1d_dilated_shape(self):
+        layer = nn.Conv1d(1, 1, 2, _rng(), dilation=2)
+        assert layer(_t(1, 1, 8)).shape == (1, 1, 6)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 6, _rng())
+        assert emb(np.array([1, 3, 3])).shape == (3, 6)
+
+    def test_duplicate_ids_accumulate_grad(self):
+        emb = nn.Embedding(5, 2, _rng())
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], 2.0)
+        assert np.allclose(emb.weight.grad[4], 1.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestDropoutLayer:
+    def test_train_vs_eval(self):
+        layer = nn.Dropout(0.5, np.random.default_rng(7))
+        x = Tensor(np.ones((100, 100)))
+        layer.train()
+        assert (layer(x).data == 0).any()
+        layer.eval()
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5, _rng())
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        layer = nn.LayerNorm(8)
+        out = layer(_t(4, 8))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self):
+        layer = nn.LayerNorm(4)
+        gradcheck(lambda x: layer(x), [_t(3, 4)], rtol=1e-3)
+
+
+class TestRecurrent:
+    def test_gru_cell_shape_and_range(self):
+        cell = nn.GRUCell(3, 5, _rng())
+        h = cell(_t(2, 3), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_gru_sequence(self):
+        gru = nn.GRU(3, 4, _rng())
+        outputs, last = gru(_t(2, 6, 3))
+        assert outputs.shape == (2, 6, 4)
+        assert np.allclose(outputs.data[:, -1], last.data)
+
+    def test_gru_gradcheck(self):
+        gru = nn.GRU(2, 3, _rng())
+        x = _t(1, 3, 2)
+        gradcheck(lambda x: gru(x)[1], [x], rtol=1e-3)
+
+    def test_lstm_cell_shapes(self):
+        cell = nn.LSTMCell(3, 5, _rng())
+        h, c = cell(_t(2, 3), (Tensor(np.zeros((2, 5))), Tensor(np.zeros((2, 5)))))
+        assert h.shape == (2, 5) and c.shape == (2, 5)
+
+    def test_lstm_gradcheck(self):
+        cell = nn.LSTMCell(2, 3, _rng())
+        zeros = Tensor(np.zeros((1, 3)))
+        gradcheck(lambda x: cell(x, (zeros, zeros))[0], [_t(1, 2)], rtol=1e-3)
+
+
+class TestAttention:
+    def test_self_attention_shape(self):
+        attn = nn.MultiHeadAttention(8, 2, _rng())
+        assert attn(_t(2, 5, 8)).shape == (2, 5, 8)
+
+    def test_cross_attention_shape(self):
+        attn = nn.MultiHeadAttention(8, 2, _rng())
+        out = attn(_t(2, 3, 8), _t(2, 7, 8))
+        assert out.shape == (2, 3, 8)
+
+    def test_indivisible_heads_raises(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(7, 2, _rng())
+
+    def test_gradcheck(self):
+        attn = nn.MultiHeadAttention(4, 2, _rng())
+        gradcheck(lambda x: attn(x), [_t(1, 3, 4)], rtol=1e-3)
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        model = nn.Sequential(nn.Linear(4, 8, _rng()), nn.ReLU(), nn.Linear(8, 2, _rng()))
+        assert model(_t(3, 4)).shape == (3, 2)
+        assert len(model) == 3
+
+    def test_module_list_registers_params(self):
+        layers = nn.ModuleList([nn.Linear(2, 2, _rng()) for _ in range(3)])
+        assert len(list(layers.parameters())) == 6
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        assert np.allclose(nn.ReLU()(x).data, [0.0, 1.0])
+        assert np.allclose(nn.LeakyReLU(0.1)(x).data, [-0.1, 1.0])
+        assert np.allclose(nn.Tanh()(x).data, np.tanh([-1.0, 1.0]))
+
+
+class TestLearning:
+    def test_linear_regression_converges(self):
+        """End-to-end sanity: a Linear layer learns y = 2x + 1."""
+        rng = np.random.default_rng(8)
+        layer = nn.Linear(1, 1, rng)
+        opt = nn.Adam(layer.parameters(), lr=0.1)
+        x = rng.standard_normal((64, 1))
+        y = 2.0 * x + 1.0
+        for _ in range(200):
+            opt.zero_grad()
+            loss = nn.functional.mse_loss(layer(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert layer.weight.data[0, 0] == pytest.approx(2.0, abs=0.05)
+        assert layer.bias.data[0] == pytest.approx(1.0, abs=0.05)

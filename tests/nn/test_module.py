@@ -1,0 +1,101 @@
+"""Module registration, traversal, state dicts and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.serialization import load_module, load_state, save_module, save_state
+
+
+def _rng():
+    return np.random.default_rng(10)
+
+
+class TinyNet(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng)
+        self.fc2 = nn.Linear(8, 2, rng)
+        self.drop = nn.Dropout(0.5, rng)
+
+    def forward(self, x):
+        return self.fc2(self.drop(self.fc1(x).relu()))
+
+
+class TestRegistration:
+    def test_named_parameters_are_hierarchical(self):
+        net = TinyNet(_rng())
+        names = dict(net.named_parameters()).keys()
+        assert "fc1.weight" in names and "fc2.bias" in names
+
+    def test_parameter_count(self):
+        net = TinyNet(_rng())
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modules_traversal(self):
+        net = TinyNet(_rng())
+        assert len(list(net.modules())) == 4  # self + 3 children
+
+    def test_train_eval_propagates(self):
+        net = TinyNet(_rng())
+        net.eval()
+        assert not net.drop.training
+        net.train()
+        assert net.drop.training
+
+    def test_zero_grad_clears(self):
+        net = TinyNet(_rng())
+        out = net(Tensor(np.ones((2, 4)), requires_grad=False))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyNet(_rng()), TinyNet(np.random.default_rng(11))
+        assert not np.allclose(a.fc1.weight.data, b.fc1.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.fc1.weight.data, b.fc1.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet(_rng())
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        net = TinyNet(_rng())
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet(_rng())
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        state = {"layer.weight": np.arange(6.0).reshape(2, 3), "layer.bias": np.zeros(2)}
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        assert np.allclose(loaded["layer.weight"], state["layer.weight"])
+
+    def test_module_roundtrip(self, tmp_path):
+        path = tmp_path / "model.npz"
+        a = TinyNet(_rng())
+        save_module(a, path)
+        b = TinyNet(np.random.default_rng(12))
+        load_module(b, path)
+        x = Tensor(np.ones((1, 4)))
+        a.eval(), b.eval()
+        assert np.allclose(a(x).data, b(x).data)

@@ -1,0 +1,98 @@
+"""Convolution op tests: values against scipy, gradients against finite diff."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+from repro.nn import Tensor
+from repro.nn.gradcheck import gradcheck
+from repro.nn.ops import conv1d, conv2d
+
+RNG = np.random.default_rng(1)
+
+
+def _t(*shape):
+    return Tensor(RNG.standard_normal(shape), requires_grad=True)
+
+
+class TestConv2dForward:
+    def test_matches_scipy_single_channel(self):
+        x, w = _t(1, 1, 6, 7), _t(1, 1, 3, 3)
+        out = conv2d(x, w)
+        expected = correlate2d(x.data[0, 0], w.data[0, 0], mode="valid")
+        assert out.shape == (1, 1, 4, 5)
+        assert np.allclose(out.data[0, 0], expected)
+
+    def test_multi_channel_sums_inputs(self):
+        x, w = _t(2, 3, 5, 5), _t(4, 3, 3, 3)
+        out = conv2d(x, w)
+        assert out.shape == (2, 4, 3, 3)
+        expected = sum(
+            correlate2d(x.data[1, c], w.data[2, c], mode="valid") for c in range(3)
+        )
+        assert np.allclose(out.data[1, 2], expected)
+
+    def test_padding_preserves_shape(self):
+        x, w = _t(1, 2, 5, 5), _t(2, 2, 3, 3)
+        assert conv2d(x, w, padding=1).shape == (1, 2, 5, 5)
+
+    def test_stride(self):
+        x, w = _t(1, 1, 7, 7), _t(1, 1, 3, 3)
+        assert conv2d(x, w, stride=2).shape == (1, 1, 3, 3)
+
+    def test_bias_added_per_channel(self):
+        x, w = _t(1, 1, 4, 4), _t(2, 1, 3, 3)
+        b = Tensor(np.array([10.0, -10.0]), requires_grad=True)
+        out = conv2d(x, w, b)
+        no_bias = conv2d(x, w)
+        assert np.allclose(out.data[:, 0], no_bias.data[:, 0] + 10.0)
+        assert np.allclose(out.data[:, 1], no_bias.data[:, 1] - 10.0)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            conv2d(_t(1, 2, 4, 4), _t(1, 3, 3, 3))
+
+
+class TestConv2dBackward:
+    def test_gradcheck_plain(self):
+        gradcheck(lambda x, w: conv2d(x, w), [_t(2, 2, 5, 4), _t(3, 2, 3, 3)])
+
+    def test_gradcheck_with_bias_padding_stride(self):
+        x, w, b = _t(1, 2, 5, 5), _t(2, 2, 3, 3), _t(2)
+        gradcheck(lambda x, w, b: conv2d(x, w, b, stride=2, padding=1), [x, w, b])
+
+
+class TestConv1dForward:
+    def test_matches_manual(self):
+        x, w = _t(1, 1, 8), _t(1, 1, 3)
+        out = conv1d(x, w)
+        expected = np.correlate(x.data[0, 0], w.data[0, 0], mode="valid")
+        assert np.allclose(out.data[0, 0], expected)
+
+    def test_dilation_spacing(self):
+        x = Tensor(np.arange(8, dtype=float).reshape(1, 1, 8), requires_grad=True)
+        w = Tensor(np.ones((1, 1, 2)), requires_grad=True)
+        out = conv1d(x, w, dilation=3)
+        # taps at offsets 0 and 3: out[i] = x[i] + x[i+3]
+        assert out.shape == (1, 1, 5)
+        assert np.allclose(out.data[0, 0], [3, 5, 7, 9, 11])
+
+    def test_padding_same_length(self):
+        x, w = _t(2, 3, 9), _t(4, 3, 3)
+        assert conv1d(x, w, padding=1).shape == (2, 4, 9)
+
+    def test_too_small_input_raises(self):
+        with pytest.raises(ValueError):
+            conv1d(_t(1, 1, 2), _t(1, 1, 5))
+
+
+class TestConv1dBackward:
+    def test_gradcheck_plain(self):
+        gradcheck(lambda x, w: conv1d(x, w), [_t(2, 2, 6), _t(3, 2, 3)])
+
+    def test_gradcheck_dilated_padded(self):
+        x, w, b = _t(1, 2, 8), _t(2, 2, 2), _t(2)
+        gradcheck(lambda x, w, b: conv1d(x, w, b, padding=2, dilation=2), [x, w, b])
+
+    def test_gradcheck_stride(self):
+        gradcheck(lambda x, w: conv1d(x, w, stride=2), [_t(1, 1, 9), _t(1, 1, 3)])

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) on the autograd engine's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+_FLOATS = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_add_commutes(self, data):
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(data[::-1].copy(), requires_grad=True)
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_double_negation(self, data):
+        a = Tensor(data)
+        assert np.allclose((-(-a)).data, data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_exp_log_roundtrip(self, data):
+        a = Tensor(np.abs(data) + 0.5)
+        assert np.allclose(a.log().exp().data, a.data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_sum_equals_numpy(self, data):
+        assert np.allclose(Tensor(data).sum().data, data.sum())
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_relu_idempotent(self, data):
+        a = Tensor(data)
+        assert np.allclose(a.relu().relu().data, a.relu().data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_sigmoid_bounded(self, data):
+        out = Tensor(data).sigmoid().data
+        assert np.all((out > 0) & (out < 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=_FLOATS)
+    def test_tanh_odd_function(self, data):
+        a, b = Tensor(data), Tensor(-data)
+        assert np.allclose(a.tanh().data, -b.tanh().data)
+
+
+class TestGradientInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(data=_FLOATS)
+    def test_sum_gradient_is_ones(self, data):
+        a = Tensor(data, requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=_FLOATS, scale=st.floats(min_value=0.1, max_value=5.0))
+    def test_gradient_linearity_in_scale(self, data, scale):
+        a = Tensor(data, requires_grad=True)
+        (a * scale).sum().backward()
+        assert np.allclose(a.grad, scale)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=_FLOATS)
+    def test_mean_gradient_sums_to_one(self, data):
+        a = Tensor(data, requires_grad=True)
+        a.mean().backward()
+        assert np.isclose(a.grad.sum(), 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=5),
+        inner=st.integers(min_value=1, max_value=5),
+        cols=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_matmul_grad_shapes(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.standard_normal((rows, inner)), requires_grad=True)
+        b = Tensor(rng.standard_normal((inner, cols)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+
+class TestFunctionalInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        d=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_softmax_is_distribution(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        out = F.softmax(Tensor(rng.standard_normal((n, d)) * 5)).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        assert np.all(out >= 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        d=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_normalize_idempotent(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((n, d)) + 0.1)
+        once = F.normalize(x)
+        twice = F.normalize(once)
+        assert np.allclose(once.data, twice.data, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_info_nce_permutation_hurts(self, seed):
+        """Aligned pairs always score no worse than a derangement."""
+        rng = np.random.default_rng(seed)
+        anchor = Tensor(rng.standard_normal((6, 4)))
+        aligned = F.info_nce(anchor, Tensor(anchor.data.copy())).item()
+        rolled = Tensor(np.roll(anchor.data, 1, axis=0))
+        deranged = F.info_nce(anchor, rolled).item()
+        assert aligned <= deranged + 1e-9

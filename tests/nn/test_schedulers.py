@@ -1,0 +1,61 @@
+"""Learning-rate scheduler tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def _opt(lr=1.0):
+    return nn.Adam([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        # step() is called at the end of each epoch; with step_size=2 the
+        # LR holds for epochs {0,1}, decays for {2,3}, and so on.
+        opt = _opt(1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(_opt(), step_size=0)
+
+    def test_updates_optimizer_in_place(self):
+        opt = _opt(1.0)
+        sched = nn.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        opt = _opt(1.0)
+        sched = nn.CosineAnnealingLR(opt, total_epochs=10, min_lr=0.0)
+        first = sched.step()
+        assert first < 1.0
+        for _ in range(9):
+            last = sched.step()
+        assert last == pytest.approx(0.0, abs=1e-12)
+
+    def test_halfway_point(self):
+        opt = _opt(2.0)
+        sched = nn.CosineAnnealingLR(opt, total_epochs=2, min_lr=0.0)
+        mid = sched.step()
+        assert mid == pytest.approx(2.0 * 0.5 * (1 + math.cos(math.pi / 2)))
+
+    def test_floor_respected(self):
+        opt = _opt(1.0)
+        sched = nn.CosineAnnealingLR(opt, total_epochs=3, min_lr=0.25)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.25)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(_opt(), total_epochs=0)

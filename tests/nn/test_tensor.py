@@ -1,0 +1,251 @@
+"""Unit tests for the autograd Tensor: arithmetic, reductions, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, no_grad, stack, where
+from repro.nn.gradcheck import gradcheck
+from repro.nn.tensor import unbroadcast
+
+RNG = np.random.default_rng(0)
+
+
+def _t(*shape, scale=1.0):
+    return Tensor(RNG.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add_matches_numpy(self):
+        a, b = _t(3, 4), _t(3, 4)
+        assert np.allclose((a + b).data, a.data + b.data)
+
+    def test_scalar_broadcast(self):
+        a = _t(3, 4)
+        assert np.allclose((a + 2.0).data, a.data + 2.0)
+        assert np.allclose((2.0 * a).data, 2.0 * a.data)
+        assert np.allclose((1.0 - a).data, 1.0 - a.data)
+        assert np.allclose((1.0 / (a + 10.0)).data, 1.0 / (a.data + 10.0))
+
+    def test_matmul_matches_numpy(self):
+        a, b = _t(3, 4), _t(4, 5)
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_batched_matmul(self):
+        a, b = _t(2, 3, 4), _t(2, 4, 5)
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_reductions(self):
+        a = _t(3, 4)
+        assert np.allclose(a.sum().data, a.data.sum())
+        assert np.allclose(a.mean(axis=1).data, a.data.mean(axis=1))
+        assert np.allclose(a.max(axis=0).data, a.data.max(axis=0))
+        assert np.allclose(a.min().data, a.data.min())
+        assert np.allclose(a.var(axis=1).data, a.data.var(axis=1))
+
+    def test_reshape_transpose(self):
+        a = _t(2, 3, 4)
+        assert a.reshape(6, 4).shape == (6, 4)
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem(self):
+        a = _t(5, 4)
+        assert np.allclose(a[2].data, a.data[2])
+        assert np.allclose(a[1:3, ::2].data, a.data[1:3, ::2])
+
+    def test_item_and_len(self):
+        assert Tensor(3.5).item() == 3.5
+        assert len(_t(7, 2)) == 7
+
+    def test_comparison_returns_bool_array(self):
+        a = _t(3)
+        assert (a > 0).dtype == bool
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(_t(2))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_int_input_promoted_to_float(self):
+        assert Tensor([1, 2, 3]).dtype.kind == "f"
+
+
+class TestBackwardValues:
+    def test_add_grad_ones(self):
+        a, b = _t(3), _t(3)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_broadcast_add_reduces_grad(self):
+        a, b = _t(3, 4), _t(4)
+        (a + b).sum().backward()
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_mul_grad(self):
+        a, b = _t(3), _t(3)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_chain_rule_through_reuse(self):
+        # y = x*x + x, dy/dx = 2x + 1 with x used twice in the graph.
+        x = _t(4)
+        y = x * x + x
+        y.sum().backward()
+        assert np.allclose(x.grad, 2 * x.data + 1)
+
+    def test_backward_requires_grad_flag(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_blocks_graph(self):
+        a = _t(3)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_detach_severs_graph(self):
+        a = _t(3)
+        out = (a.detach() * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_grad_accumulates_across_backwards(self):
+        a = _t(3)
+        (a * 2.0).sum().backward()
+        first = a.grad.copy()
+        (a * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2 * first)
+
+    def test_zero_grad(self):
+        a = _t(3)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestGradcheckPrimitives:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: a * b,
+            lambda a, b: a / (b + 5.0),
+            lambda a, b: (a * b).sum(axis=0),
+        ],
+    )
+    def test_binary_ops(self, fn):
+        gradcheck(fn, [_t(3, 4), _t(3, 4)])
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a: (-a).sum(),
+            lambda a: (a ** 3).sum(),
+            lambda a: (a + 5.0).log().sum(),
+            lambda a: a.exp().sum(),
+            lambda a: a.tanh().sum(),
+            lambda a: a.sigmoid().sum(),
+            lambda a: (a + 5.0).sqrt().sum(),
+            lambda a: a.mean(axis=1).sum(),
+            lambda a: a.var(axis=0).sum(),
+            lambda a: a.reshape(12).sum(),
+            lambda a: a.transpose().sum(),
+            lambda a: a.expand_dims(1).squeeze(1).sum(),
+        ],
+    )
+    def test_unary_ops(self, fn):
+        gradcheck(fn, [_t(3, 4)])
+
+    def test_leaky_relu_grad(self):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        a.leaky_relu(0.2).sum().backward()
+        assert np.allclose(a.grad, [0.2, 0.2, 1.0, 1.0])
+
+    def test_abs_grad_sign(self):
+        a = Tensor(np.array([-3.0, 4.0]), requires_grad=True)
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_clip_grad_mask(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_matmul_gradcheck(self):
+        gradcheck(lambda a, b: a @ b, [_t(3, 4), _t(4, 2)])
+
+    def test_batched_matmul_gradcheck(self):
+        gradcheck(lambda a, b: a @ b, [_t(2, 3, 4), _t(2, 4, 2)])
+
+    def test_matvec_gradcheck(self):
+        gradcheck(lambda a, b: a @ b, [_t(3, 4), _t(4)])
+
+    def test_vecmat_gradcheck(self):
+        gradcheck(lambda a, b: a @ b, [_t(4), _t(4, 3)])
+
+    def test_getitem_gradcheck(self):
+        gradcheck(lambda a: a[1:3].sum(axis=0), [_t(5, 3)])
+
+    def test_fancy_index_accumulates_duplicates(self):
+        a = _t(4, 2)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        assert np.allclose(a.grad[0], 2.0)
+        assert np.allclose(a.grad[1], 0.0)
+        assert np.allclose(a.grad[2], 1.0)
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_pad_gradcheck(self):
+        gradcheck(lambda a: a.pad([(1, 1), (0, 2)]), [_t(3, 4)])
+
+
+class TestCombinators:
+    def test_concatenate_forward_backward(self):
+        a, b = _t(2, 3), _t(4, 3)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+
+    def test_concatenate_gradcheck(self):
+        gradcheck(lambda a, b: concatenate([a, b], axis=1), [_t(2, 3), _t(2, 2)])
+
+    def test_stack_forward_backward(self):
+        a, b = _t(2, 3), _t(2, 3)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+        gradcheck(lambda x, y: stack([x, y], axis=1), [_t(2, 3), _t(2, 3)])
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a, b = _t(3), _t(3)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = RNG.standard_normal((3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axis_sum(self):
+        g = np.ones((5, 3, 4))
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+        assert np.allclose(unbroadcast(g, (3, 4)), 5.0)
+
+    def test_keepdim_axis_sum(self):
+        g = np.ones((3, 4))
+        out = unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        assert np.allclose(out, 4.0)
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        assert unbroadcast(g, ()).shape == ()

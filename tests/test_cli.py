@@ -1,0 +1,66 @@
+"""CLI integration tests (argparse wiring and end-to-end subcommands)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "--city", "chicago", "--out", "x.csv"])
+        assert args.city == "chicago"
+        assert args.func.__name__ == "cmd_generate"
+
+    def test_invalid_city_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--city", "gotham"])
+
+    def test_compare_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--models", "NotAModel"])
+
+
+SMALL = ["--rows", "4", "--cols", "4", "--days", "60", "--window", "8"]
+
+
+class TestEndToEnd:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "events.csv"
+        code = main(["generate", "--rows", "4", "--cols", "4", "--days", "30", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert header == "category,timestamp,longitude,latitude"
+
+    def test_train_evaluate_forecast_roundtrip(self, tmp_path, capsys):
+        ckpt = tmp_path / "model.npz"
+        code = main(
+            ["train", *SMALL, "--epochs", "1", "--train-limit", "4", "--checkpoint", str(ckpt)]
+        )
+        assert code == 0
+        assert ckpt.exists()
+        train_out = capsys.readouterr().out
+        assert "best val MAE" in train_out
+
+        code = main(["evaluate", *SMALL, "--checkpoint", str(ckpt)])
+        assert code == 0
+        eval_out = capsys.readouterr().out
+        assert "(overall)" in eval_out
+
+        code = main(["forecast", *SMALL, "--checkpoint", str(ckpt), "--horizon", "3"])
+        assert code == 0
+        forecast_out = capsys.readouterr().out
+        assert "T+3" in forecast_out
+
+    def test_compare_ranks_models(self, capsys):
+        code = main(
+            ["compare", *SMALL, "--epochs", "1", "--train-limit", "4", "--models", "HA", "ARIMA"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ST-HSL" in out and "ARIMA" in out

@@ -1,0 +1,75 @@
+"""Multi-step recursive forecasting tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HistoricalAverage
+from repro.data import load_city
+from repro.training import WindowDataset, evaluate_horizon, recursive_forecast
+
+DATASET = load_city("nyc", rows=4, cols=4, num_days=100, seed=0)
+
+
+class _LastValue:
+    """Toy forecaster: predict yesterday's value (for exact rollout math)."""
+
+    def predict(self, window):
+        return window[:, -1, :].copy()
+
+
+class TestRecursiveForecast:
+    def test_output_shape(self):
+        window = np.random.default_rng(0).standard_normal((16, 10, 4))
+        out = recursive_forecast(HistoricalAverage(), window, horizon=5)
+        assert out.shape == (5, 16, 4)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            recursive_forecast(HistoricalAverage(), np.zeros((2, 5, 1)), horizon=0)
+
+    def test_last_value_model_propagates_constant(self):
+        """A persistence model rolled forward repeats the last day."""
+        window = np.random.default_rng(1).standard_normal((3, 6, 2))
+        out = recursive_forecast(_LastValue(), window, horizon=4)
+        for k in range(4):
+            assert np.allclose(out[k], window[:, -1, :])
+
+    def test_window_not_mutated(self):
+        window = np.random.default_rng(2).standard_normal((3, 6, 2))
+        original = window.copy()
+        recursive_forecast(_LastValue(), window, horizon=3)
+        assert np.array_equal(window, original)
+
+    def test_rollout_feeds_predictions_back(self):
+        """A model that adds one each step produces an increasing ramp."""
+
+        class _PlusOne:
+            def predict(self, window):
+                return window[:, -1, :] + 1.0
+
+        window = np.zeros((2, 4, 1))
+        out = recursive_forecast(_PlusOne(), window, horizon=3)
+        assert np.allclose(out[:, 0, 0], [1.0, 2.0, 3.0])
+
+
+class TestEvaluateHorizon:
+    def test_keys_are_steps(self):
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_horizon(HistoricalAverage(), windows, horizon=3)
+        assert list(result) == [1, 2, 3]
+        for metrics in result.values():
+            assert np.isfinite(metrics["mae"])
+
+    def test_too_long_horizon_raises(self):
+        windows = WindowDataset(DATASET, window=10)
+        with pytest.raises(ValueError):
+            evaluate_horizon(HistoricalAverage(), windows, horizon=10_000)
+
+    def test_error_grows_or_holds_with_horizon(self):
+        """For a persistence-style model on mean-reverting data, step-1
+        error should not exceed distant-step error by a large factor —
+        mostly a smoke check that steps are aligned correctly."""
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_horizon(HistoricalAverage(), windows, horizon=4)
+        maes = [result[k]["mae"] for k in (1, 2, 3, 4)]
+        assert max(maes) < 10 * min(maes)

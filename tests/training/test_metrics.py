@@ -1,0 +1,100 @@
+"""Metric tests including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training import mae, mape, masked_mae, masked_mape, metric_frame, rmse
+
+
+class TestMae:
+    def test_perfect_prediction(self):
+        target = np.array([1.0, 2.0, 3.0])
+        assert mae(target, target) == 0.0
+        assert masked_mae(target, target) == 0.0
+
+    def test_known_value(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 2.0])) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_masked_ignores_zero_cells(self):
+        pred = np.array([5.0, 1.0])
+        target = np.array([0.0, 1.0])  # first cell masked out
+        assert masked_mae(pred, target) == 0.0
+
+    def test_masked_nan_when_all_zero(self):
+        assert np.isnan(masked_mae(np.ones(3), np.zeros(3)))
+
+
+class TestMape:
+    def test_masked_known_value(self):
+        pred = np.array([1.5, 4.0])
+        target = np.array([1.0, 2.0])
+        # (0.5/1 + 2/2) / 2 = 0.75
+        assert masked_mape(pred, target) == pytest.approx(0.75)
+
+    def test_unmasked_floor(self):
+        pred = np.array([1.0])
+        target = np.array([0.0])
+        assert mape(pred, target, floor=1.0) == pytest.approx(1.0)
+
+    def test_masked_nan_when_all_zero(self):
+        assert np.isnan(masked_mape(np.ones(2), np.zeros(2)))
+
+
+class TestRmse:
+    def test_rmse_ge_mae(self):
+        rng = np.random.default_rng(0)
+        pred, target = rng.standard_normal(50), rng.standard_normal(50)
+        assert rmse(pred, target) >= mae(pred, target)
+
+
+class TestMetricFrame:
+    def test_keys(self):
+        rng = np.random.default_rng(1)
+        pred = rng.random((4, 5))
+        target = rng.integers(0, 3, size=(4, 5)).astype(float)
+        frame = metric_frame(pred, target)
+        assert set(frame) == {"mae", "mape", "rmse"}
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_mae_scale_equivariance(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        pred = rng.random(20) + 0.5
+        target = rng.random(20) + 0.5
+        assert masked_mae(pred * scale, target * scale) == pytest.approx(
+            scale * masked_mae(pred, target)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_mape_scale_invariance(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        pred = rng.random(20) + 0.5
+        target = rng.random(20) + 0.5
+        assert masked_mape(pred * scale, target * scale) == pytest.approx(
+            masked_mape(pred, target)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_metrics_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        pred = rng.standard_normal(30)
+        target = rng.integers(0, 4, size=30).astype(float)
+        if (target > 0).any():
+            assert masked_mae(pred, target) >= 0
+            assert masked_mape(pred, target) >= 0

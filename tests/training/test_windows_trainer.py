@@ -1,0 +1,137 @@
+"""Window construction, trainer, and evaluation integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HistoricalAverage, SVR
+from repro.data import load_city
+from repro.training import Trainer, WindowDataset, evaluate_model
+
+DATASET = load_city("nyc", rows=4, cols=4, num_days=100, seed=0)
+
+
+class TestWindowDataset:
+    def test_window_too_large_raises(self):
+        with pytest.raises(ValueError):
+            WindowDataset(DATASET, window=DATASET.split.train_end + 1)
+
+    def test_sample_shapes(self):
+        windows = WindowDataset(DATASET, window=10)
+        sample = next(windows.samples("train"))
+        assert sample.window.shape == (16, 10, 4)
+        assert sample.target.shape == (16, 4)
+        assert sample.raw_target.shape == (16, 4)
+
+    def test_window_precedes_target(self):
+        windows = WindowDataset(DATASET, window=10)
+        normalized = DATASET.normalized()
+        for sample in list(windows.samples("train"))[:5]:
+            assert np.array_equal(sample.window, normalized[:, sample.day - 10 : sample.day, :])
+            assert np.array_equal(sample.target, normalized[:, sample.day, :])
+
+    def test_split_day_ranges_are_disjoint(self):
+        windows = WindowDataset(DATASET, window=10)
+        train_days = {s.day for s in windows.samples("train")}
+        val_days = {s.day for s in windows.samples("val")}
+        test_days = {s.day for s in windows.samples("test")}
+        assert not (train_days & val_days)
+        assert not (val_days & test_days)
+        assert max(train_days) < min(val_days) <= max(val_days) < min(test_days)
+
+    def test_shuffled_train_limit(self):
+        windows = WindowDataset(DATASET, window=10)
+        rng = np.random.default_rng(0)
+        samples = list(windows.shuffled_train(rng, limit=7))
+        assert len(samples) == 7
+
+    def test_shuffled_deterministic_by_rng(self):
+        windows = WindowDataset(DATASET, window=10)
+        days_a = [s.day for s in windows.shuffled_train(np.random.default_rng(5), limit=10)]
+        days_b = [s.day for s in windows.shuffled_train(np.random.default_rng(5), limit=10)]
+        assert days_a == days_b
+
+    def test_denormalize_floors_at_zero(self):
+        windows = WindowDataset(DATASET, window=10)
+        values = np.full((2, 2), -100.0)
+        assert np.all(windows.denormalize(values) == 0.0)
+
+    def test_denormalize_roundtrip(self):
+        windows = WindowDataset(DATASET, window=10)
+        sample = next(windows.samples("test"))
+        assert np.allclose(windows.denormalize(sample.target), sample.raw_target)
+
+
+class TestTrainer:
+    def test_svr_training_improves_validation(self):
+        windows = WindowDataset(DATASET, window=10)
+        model = SVR(window=10, num_categories=4, seed=0)
+        trainer = Trainer(model, lr=0.01, batch_size=4, seed=0)
+        before = trainer.validate(windows)
+        result = trainer.fit(windows, epochs=5, train_limit=30)
+        assert result.best_val_mae <= before
+        assert len(result.history) == 5
+
+    def test_early_stopping_respects_patience(self):
+        windows = WindowDataset(DATASET, window=10)
+        model = SVR(window=10, num_categories=4, seed=0)
+        trainer = Trainer(model, lr=0.0, batch_size=4, seed=0)  # lr=0 -> no progress
+        result = trainer.fit(windows, epochs=50, patience=2, train_limit=5)
+        assert len(result.history) <= 5  # 1 initial + patience exceeded
+
+    def test_best_state_restored(self):
+        windows = WindowDataset(DATASET, window=10)
+        model = SVR(window=10, num_categories=4, seed=0)
+        trainer = Trainer(model, lr=0.05, batch_size=4, seed=0)
+        result = trainer.fit(windows, epochs=4, train_limit=20)
+        restored_val = trainer.validate(windows)
+        assert restored_val == pytest.approx(result.best_val_mae, rel=1e-6)
+
+    def test_scheduler_steps_per_epoch(self):
+        from repro import nn
+
+        windows = WindowDataset(DATASET, window=10)
+        model = SVR(window=10, num_categories=4, seed=0)
+        trainer = Trainer(model, lr=0.1, batch_size=4, seed=0)
+        scheduler = nn.StepLR(trainer.optimizer, step_size=1, gamma=0.5)
+        trainer.fit(windows, epochs=3, train_limit=5, scheduler=scheduler)
+        assert trainer.optimizer.lr == pytest.approx(0.1 * 0.5 ** 3)
+
+    def test_timed_epoch_positive(self):
+        windows = WindowDataset(DATASET, window=10)
+        model = SVR(window=10, num_categories=4, seed=0)
+        trainer = Trainer(model, seed=0)
+        assert trainer.timed_epoch(windows, train_limit=5) > 0
+
+
+class TestEvaluation:
+    def test_result_shapes(self):
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_model(HistoricalAverage(), windows)
+        num_test = windows.num_samples("test")
+        assert result.predictions.shape == (num_test, 16, 4)
+        assert result.targets.shape == result.predictions.shape
+
+    def test_per_category_keys(self):
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_model(HistoricalAverage(), windows)
+        assert set(result.per_category()) == set(DATASET.categories)
+
+    def test_per_region_mape_shape(self):
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_model(HistoricalAverage(), windows)
+        assert result.per_region_mape().shape == (16,)
+
+    def test_by_density_groups(self):
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_model(HistoricalAverage(), windows)
+        by_density = result.by_density(DATASET.tensor)
+        assert set(by_density) == {(0.0, 0.25), (0.25, 0.5)}
+
+    def test_historical_average_is_reasonable(self):
+        """HA's masked MAE should be within a sane range on synthetic data
+        (sanity anchor for the whole evaluation chain)."""
+        windows = WindowDataset(DATASET, window=10)
+        result = evaluate_model(HistoricalAverage(), windows)
+        overall = result.overall()
+        assert 0.1 < overall["mae"] < 5.0
+        assert 0.1 < overall["mape"] < 1.5
