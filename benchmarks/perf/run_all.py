@@ -1,0 +1,90 @@
+"""Tracked perf benchmark: batched-vs-sequential training throughput.
+
+Measures windows/sec and epoch wall-clock for ST-HSL on the reduced-scale
+benchmark geometry (6x6 regions x 100 days, the DESIGN.md §5 protocol) at
+batch sizes {1, 4, 16}, plus the per-sample fallback path and the float32
+compute mode, and writes ``BENCH_perf.json`` at the repo root so future
+PRs have a perf trajectory to defend.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py
+
+The ``seed_reference`` block records the pre-batching implementation
+(commit 162b557, per-sample loop with gradient accumulation, einsum convs
+and ``np.add.at`` scatters) measured on this container: 1.223 s/epoch at
+batch_size=16 under the identical budget.  Re-measure it by checking out
+the seed commit and timing ``Trainer._train_epoch`` with the same
+geometry; pass ``--seed-seconds`` to override.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import measure_perf, write_perf_json
+from repro.analysis.experiment import ExperimentBudget
+from repro.analysis.visualization import format_table
+from repro.data import load_city
+
+# One-time measurement of the seed implementation on this container (see
+# module docstring for the re-measurement recipe).
+SEED_REFERENCE = {
+    "commit": "162b557",
+    "description": "per-sample loop, einsum convs, np.add.at col2im",
+    "batch_size": 16,
+    "epoch_seconds": 1.223,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=6)
+    parser.add_argument("--cols", type=int, default=6)
+    parser.add_argument("--num-days", type=int, default=100)
+    parser.add_argument("--window", type=int, default=14)
+    parser.add_argument("--train-limit", type=int, default=32)
+    parser.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16])
+    parser.add_argument("--reps", type=int, default=5, help="best-of-N timing repetitions")
+    parser.add_argument("--seed-seconds", type=float, default=SEED_REFERENCE["epoch_seconds"])
+    parser.add_argument("--no-float32", action="store_true", help="skip the float32 mode column")
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    dataset = load_city(
+        "nyc", rows=args.rows, cols=args.cols, num_days=args.num_days, seed=0
+    )
+    budget = ExperimentBudget(window=args.window, train_limit=args.train_limit, seed=0)
+    seed_reference = dict(SEED_REFERENCE, epoch_seconds=args.seed_seconds)
+
+    payload = measure_perf(
+        dataset,
+        budget,
+        batch_sizes=tuple(args.batch_sizes),
+        reps=args.reps,
+        include_float32=not args.no_float32,
+        seed_reference=seed_reference,
+    )
+    write_perf_json(payload, args.out)
+
+    headers = ["Mode", "dtype", "Batch", "Epoch (s)", "Windows/s"]
+    rows = [
+        [e["mode"], e["dtype"], e["batch_size"], e["epoch_seconds"], e["windows_per_sec"]]
+        for e in payload["modes"]
+    ]
+    print(format_table(headers, rows, float_format="{:.3f}"))
+    print()
+    for name, value in payload["speedups"].items():
+        print(f"{name}: {value:.2f}x")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

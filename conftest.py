@@ -1,0 +1,9 @@
+"""Repo-level pytest configuration: custom marker registration."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: fast perf-harness smoke check (runs one tiny measurement "
+        "and validates the BENCH_perf.json schema; select with -m perf_smoke)",
+    )

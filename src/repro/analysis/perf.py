@@ -1,0 +1,192 @@
+"""Training/inference throughput measurement (the tracked perf suite).
+
+ST-HSL's efficiency study (paper Table V) compares architectures; this
+module instead tracks *our implementation's* throughput over time so
+every PR can defend a perf trajectory.  It measures windows/sec and
+epoch wall-clock for the batched execution path at several batch sizes,
+the per-sample fallback path, and the float32 compute mode, and writes a
+schema-versioned ``BENCH_perf.json`` for regression tracking.
+
+Entry point: ``benchmarks/perf/run_all.py``; a tier-1 smoke test
+(``pytest -m perf_smoke``) validates the schema on a tiny geometry.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import json
+import time
+from typing import Sequence
+
+from ..core import STHSL
+from ..data.datasets import CrimeDataset
+from ..training import Trainer, WindowDataset
+from .experiment import ExperimentBudget, make_sthsl
+
+__all__ = [
+    "PERF_SCHEMA",
+    "enable_fast_alloc",
+    "measure_perf",
+    "validate_perf_payload",
+    "write_perf_json",
+]
+
+PERF_SCHEMA = "repro.perf/v1"
+
+_REQUIRED_MODE_KEYS = {"mode", "dtype", "batch_size", "epoch_seconds", "windows_per_sec"}
+
+
+def enable_fast_alloc() -> bool:
+    """Raise glibc's mmap/trim thresholds so large numpy temporaries are reused.
+
+    The autograd hot path allocates and frees multi-megabyte arrays every
+    op; with default thresholds glibc returns them to the kernel each time
+    and every reuse pays page faults (~10-15% of epoch time on the bench
+    geometry).  Safe no-op on non-glibc platforms.  Returns whether the
+    tuning was applied.
+    """
+    try:
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        m_mmap_threshold, m_trim_threshold = -3, -1
+        threshold = 128 * 1024 * 1024
+        ok = libc.mallopt(m_mmap_threshold, threshold)
+        ok &= libc.mallopt(m_trim_threshold, threshold)
+        return bool(ok)
+    except OSError:  # pragma: no cover - non-glibc platform
+        return False
+
+
+def _timed_epoch(model, windows: WindowDataset, budget: ExperimentBudget,
+                 batch_size: int, use_batched: bool, reps: int) -> float:
+    """Best-of-``reps`` wall-clock seconds for one training epoch."""
+    trainer = Trainer(
+        model,
+        lr=budget.lr,
+        weight_decay=budget.weight_decay,
+        batch_size=batch_size,
+        seed=budget.seed,
+        use_batched=use_batched,
+    )
+    best = float("inf")
+    trainer._train_epoch(windows, budget.train_limit)  # warm caches / BLAS
+    for _ in range(reps):
+        start = time.perf_counter()
+        trainer._train_epoch(windows, budget.train_limit)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_perf(
+    dataset: CrimeDataset,
+    budget: ExperimentBudget,
+    batch_sizes: Sequence[int] = (1, 4, 16),
+    reps: int = 3,
+    include_float32: bool = True,
+    seed_reference: dict | None = None,
+    fast_alloc: bool = True,
+) -> dict:
+    """Measure epoch wall-clock and windows/sec across execution modes.
+
+    Modes: the per-sample fallback path (``sequential``, at the largest
+    batch size so the accumulation schedule matches), the batched path at
+    each requested batch size, and optionally the float32 compute mode at
+    the largest batch size.  ``seed_reference`` (a recorded pre-batching
+    measurement, see ``benchmarks/perf/run_all.py``) is embedded verbatim
+    and used for the headline speedup when provided.
+
+    ``fast_alloc`` applies :func:`enable_fast_alloc`, which retunes the
+    process-wide glibc allocator for the rest of the process — pass
+    ``False`` when measuring inside a host process (test runner,
+    notebook) whose allocator behaviour should be left alone.
+    """
+    if fast_alloc:
+        enable_fast_alloc()
+    windows = WindowDataset(dataset, window=budget.window)
+    # Windows actually visited per epoch: the limit cannot exceed the split.
+    available = windows.num_samples("train")
+    num_windows = min(budget.train_limit, available) if budget.train_limit else available
+    top_batch = max(batch_sizes)
+    modes: list[dict] = []
+
+    def record(mode: str, dtype: str, batch_size: int, seconds: float) -> dict:
+        entry = {
+            "mode": mode,
+            "dtype": dtype,
+            "batch_size": batch_size,
+            "epoch_seconds": round(seconds, 4),
+            "windows_per_sec": round(num_windows / seconds, 2),
+        }
+        modes.append(entry)
+        return entry
+
+    sequential = _timed_epoch(
+        make_sthsl(dataset, budget), windows, budget, top_batch, use_batched=False, reps=reps
+    )
+    record("sequential", "float64", top_batch, sequential)
+
+    batched: dict[int, float] = {}
+    for batch_size in batch_sizes:
+        batched[batch_size] = _timed_epoch(
+            make_sthsl(dataset, budget), windows, budget, batch_size, use_batched=True, reps=reps
+        )
+        record("batched", "float64", batch_size, batched[batch_size])
+
+    if include_float32:
+        base = make_sthsl(dataset, budget)
+        model32 = STHSL(base.config.with_overrides(compute_dtype="float32"), seed=budget.seed)
+        seconds32 = _timed_epoch(model32, windows, budget, top_batch, use_batched=True, reps=reps)
+        record("batched", "float32", top_batch, seconds32)
+
+    payload = {
+        "schema": PERF_SCHEMA,
+        "geometry": {
+            "rows": dataset.grid.rows,
+            "cols": dataset.grid.cols,
+            "num_days": dataset.num_days,
+            "num_categories": dataset.num_categories,
+            "window": budget.window,
+            "train_limit": budget.train_limit,
+        },
+        "modes": modes,
+        "speedups": {
+            "batched_top_vs_sequential": round(sequential / batched[top_batch], 3),
+        },
+    }
+    if seed_reference is not None:
+        payload["seed_reference"] = dict(seed_reference)
+        seed_seconds = float(seed_reference["epoch_seconds"])
+        payload["speedups"]["batched_top_vs_seed"] = round(seed_seconds / batched[top_batch], 3)
+        if include_float32:
+            payload["speedups"]["batched_top_float32_vs_seed"] = round(seed_seconds / seconds32, 3)
+    return payload
+
+
+def validate_perf_payload(payload: dict) -> None:
+    """Raise ``ValueError`` if ``payload`` does not match the perf schema."""
+    if payload.get("schema") != PERF_SCHEMA:
+        raise ValueError(f"unexpected schema tag: {payload.get('schema')!r}")
+    for key in ("geometry", "modes", "speedups"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if not isinstance(payload["modes"], list) or not payload["modes"]:
+        raise ValueError("modes must be a non-empty list")
+    for entry in payload["modes"]:
+        missing = _REQUIRED_MODE_KEYS - set(entry)
+        if missing:
+            raise ValueError(f"mode entry missing keys {sorted(missing)}")
+        if entry["mode"] not in ("sequential", "batched"):
+            raise ValueError(f"unknown mode {entry['mode']!r}")
+        if entry["dtype"] not in ("float32", "float64"):
+            raise ValueError(f"unknown dtype {entry['dtype']!r}")
+        if not entry["epoch_seconds"] > 0 or not entry["windows_per_sec"] > 0:
+            raise ValueError("timings must be positive")
+    if not all(isinstance(v, (int, float)) and v > 0 for v in payload["speedups"].values()):
+        raise ValueError("speedups must be positive numbers")
+
+
+def write_perf_json(payload: dict, path) -> None:
+    """Validate and pretty-write a perf payload."""
+    validate_perf_payload(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -41,6 +41,12 @@ class STHSLConfig:
     lambda_contrastive: float = 0.01
     weight_decay: float = 1e-5
     temperature: float = 0.5
+    # Compute dtype for all model parameters and activations.  "float64"
+    # (default) matches the autograd engine's gradcheck-tight precision;
+    # "float32" halves memory traffic on the conv/matmul hot paths — the
+    # perf harness (benchmarks/perf/) reports both modes.  Switching dtype
+    # changes results at the ~1e-6 level but not training behaviour.
+    compute_dtype: str = "float64"
     # Infomax corruption: "shuffle" permutes region indices (paper §III-D1);
     # "noise" perturbs node features instead (extra ablation, DESIGN.md §6).
     corruption: str = "shuffle"
@@ -71,6 +77,10 @@ class STHSLConfig:
             raise ValueError("at least one of local/global branches must be active")
         if self.corruption not in ("shuffle", "noise"):
             raise ValueError(f"corruption must be 'shuffle' or 'noise', got {self.corruption!r}")
+        if self.compute_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"compute_dtype must be 'float32' or 'float64', got {self.compute_dtype!r}"
+            )
 
     @property
     def num_regions(self) -> int:

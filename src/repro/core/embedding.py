@@ -16,7 +16,12 @@ __all__ = ["CrimeEmbedding"]
 
 
 class CrimeEmbedding(nn.Module):
-    """Maps a normalised crime window ``(R, T, C)`` to ``(R, T, C, d)``."""
+    """Maps a normalised crime window ``(R, T, C)`` to ``(R, T, C, d)``.
+
+    Also accepts a stacked batch ``(B, R, T, C)``, mapping it to
+    ``(B, R, T, C, d)`` — the scaling of Eq 1 broadcasts over any number
+    of leading axes.
+    """
 
     def __init__(self, num_categories: int, dim: int, rng: np.random.Generator):
         super().__init__()
@@ -25,6 +30,6 @@ class CrimeEmbedding(nn.Module):
     def forward(self, window: np.ndarray) -> Tensor:
         """``window`` is already Z-scored (Eq 1's (x-μ)/σ is done upstream
         with training-split statistics to avoid test leakage)."""
-        x = Tensor(np.asarray(window, dtype=np.float64))
-        # (R, T, C, 1) * (C, d) -> (R, T, C, d)
+        x = Tensor(np.asarray(window, dtype=self.type_embedding.dtype))
+        # (..., R, T, C, 1) * (C, d) -> (..., R, T, C, d)
         return x.expand_dims(-1) * self.type_embedding

@@ -62,10 +62,16 @@ class GlobalTemporalEncoder(nn.Module):
     def forward(self, gamma: Tensor) -> Tensor:
         """Encode ``(T, RC, d)`` hypergraph embeddings into ``Γ^(T)``.
 
-        Output keeps the ``(T, RC, d)`` layout.
+        Also accepts a stacked batch ``(B, T, RC, d)``; the batch is folded
+        into the conv's node axis ``(B*RC, d, T)`` so every window shares
+        one vectorized invocation.  Output keeps the input layout.
         """
-        t, nodes, d = gamma.shape
-        sequence = gamma.transpose(1, 2, 0)  # (RC, d, T)
+        squeeze = gamma.ndim == 3
+        if squeeze:
+            gamma = gamma.expand_dims(0)
+        b, t, nodes, d = gamma.shape
+        sequence = gamma.transpose(0, 2, 3, 1).reshape(b * nodes, d, t)
         for layer in self.layers:
             sequence = layer(sequence)
-        return sequence.transpose(2, 0, 1)
+        out = sequence.reshape(b, nodes, d, t).transpose(0, 3, 1, 2)
+        return out.squeeze(0) if squeeze else out

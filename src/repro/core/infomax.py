@@ -40,9 +40,16 @@ class HypergraphInfomax(nn.Module):
     def forward(self, original: Tensor, corrupt: Tensor, num_regions: int) -> Tensor:
         """Infomax BCE loss ``L^(I)`` (Eq 7).
 
-        Both inputs are ``(T, RC, d)`` hypergraph embeddings; the readout
-        Ψ (Eq 6) is computed from the original embeddings only.
+        Both inputs are ``(T, RC, d)`` hypergraph embeddings — or stacked
+        batches ``(B, T, RC, d)``.  The readout Ψ (Eq 6) is per (time,
+        category) pair, so batched windows flatten into the time axis
+        without changing the objective.  Ψ is computed from the original
+        embeddings only.
         """
+        if original.ndim > 3:
+            original = original.reshape(-1, original.shape[-2], original.shape[-1])
+        if corrupt.ndim > 3:
+            corrupt = corrupt.reshape(-1, corrupt.shape[-2], corrupt.shape[-1])
         t, nodes, d = original.shape
         num_categories = nodes // num_regions
         orig = original.reshape(t, num_regions, num_categories, d)

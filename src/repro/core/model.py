@@ -25,7 +25,7 @@ from .infomax import HypergraphInfomax
 from .spatial_conv import SpatialConvEncoder
 from .temporal_conv import TemporalConvEncoder
 
-__all__ = ["STHSL", "STHSLOutput", "STHSLLoss"]
+__all__ = ["STHSL", "STHSLOutput", "STHSLBatchOutput", "STHSLLoss"]
 
 
 @dataclass
@@ -36,6 +36,16 @@ class STHSLOutput:
     local: Tensor | None  # H^(T): (R, T, C, d) or None when disabled
     global_nodes: Tensor | None  # Γ^(R): (T, RC, d) or None
     global_temporal: Tensor | None  # Γ^(T): (T, RC, d) or None
+
+
+@dataclass
+class STHSLBatchOutput:
+    """Forward-pass artefacts for a stacked batch of windows."""
+
+    prediction: Tensor  # (B, R, C), in normalised units
+    local: Tensor | None  # H^(T): (B, R, T, C, d) or None when disabled
+    global_nodes: Tensor | None  # Γ^(R): (B, T, RC, d) or None
+    global_temporal: Tensor | None  # Γ^(T): (B, T, RC, d) or None
 
 
 @dataclass
@@ -58,7 +68,13 @@ class STHSL(nn.Module):
         self._corrupt_rng = np.random.default_rng(seed + 1)
         self._node_cache = None
         cfg = config
+        # Parameters (and therefore the whole graph) are created in the
+        # configured compute dtype; float32 halves memory traffic on the
+        # conv/matmul hot paths at some precision cost.
+        with nn.dtype_scope(cfg.compute_dtype):
+            self._build(cfg, rng)
 
+    def _build(self, cfg: STHSLConfig, rng: np.random.Generator) -> None:
         self.embedding = CrimeEmbedding(cfg.num_categories, cfg.dim, rng)
 
         if cfg.use_local and cfg.use_spatial_conv:
@@ -135,16 +151,47 @@ class STHSL(nn.Module):
     # Forward
     # ------------------------------------------------------------------
     def forward(self, window: np.ndarray) -> STHSLOutput:
-        """Run one normalised crime window ``(R, T, C)`` through the model."""
+        """Run one normalised crime window ``(R, T, C)`` through the model.
+
+        Thin wrapper over :meth:`forward_batch` with a singleton batch; all
+        model code is batched-native, so per-sample and batched execution
+        share one numerical path.
+        """
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, T, C) window, got shape {window.shape}")
+        out = self.forward_batch(window[None])
+
+        def _squeeze(tensor: Tensor | None) -> Tensor | None:
+            return tensor.squeeze(0) if tensor is not None else None
+
+        return STHSLOutput(
+            prediction=out.prediction.squeeze(0),
+            local=_squeeze(out.local),
+            global_nodes=_squeeze(out.global_nodes),
+            global_temporal=_squeeze(out.global_temporal),
+        )
+
+    def forward_batch(self, windows: np.ndarray) -> STHSLBatchOutput:
+        """Run a stacked batch of normalised windows ``(B, R, T, C)``.
+
+        One vectorized pass: the convolutional encoders fold the batch into
+        their image/sequence axes, the hypergraph broadcasts over it, so a
+        batch costs a handful of large numpy calls instead of ``B`` python
+        graph traversals.
+        """
         cfg = self.config
-        r, t, c = window.shape
+        windows = np.asarray(windows)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, T, C) batch, got shape {windows.shape}")
+        b, r, t, c = windows.shape
         if (r, c) != (cfg.num_regions, cfg.num_categories):
             raise ValueError(
-                f"window shape {window.shape} incompatible with config "
+                f"window shape {windows.shape[1:]} incompatible with config "
                 f"(R={cfg.num_regions}, C={cfg.num_categories})"
             )
 
-        embeddings = self.embedding(window)  # (R, T, C, d)
+        embeddings = self.embedding(windows)  # (B, R, T, C, d)
 
         # ----- Local branch: multi-view spatial-temporal convolutions -----
         local: Tensor | None = None
@@ -164,7 +211,7 @@ class STHSL(nn.Module):
         global_temporal: Tensor | None = None
         if self.hypergraph is not None:
             source = local if local is not None else embeddings
-            nodes = source.transpose(1, 0, 2, 3).reshape(t, r * c, cfg.dim)
+            nodes = source.transpose(0, 2, 1, 3, 4).reshape(b, t, r * c, cfg.dim)
             self._node_cache = nodes
             global_nodes = self.hypergraph(nodes)
             global_temporal = (
@@ -173,8 +220,8 @@ class STHSL(nn.Module):
                 else global_nodes
             )
 
-        prediction = self._predict_head(local, global_temporal, r, t, c)
-        return STHSLOutput(
+        prediction = self._predict_head(local, global_temporal, b, r, t, c)
+        return STHSLBatchOutput(
             prediction=prediction,
             local=local,
             global_nodes=global_nodes,
@@ -185,15 +232,16 @@ class STHSL(nn.Module):
         self,
         local: Tensor | None,
         global_temporal: Tensor | None,
+        b: int,
         r: int,
         t: int,
         c: int,
     ) -> Tensor:
         """Eq 9: mean-pool the window embeddings and project to a scalar."""
         cfg = self.config
-        local_pooled = local.mean(axis=1) if local is not None else None  # (R, C, d)
+        local_pooled = local.mean(axis=2) if local is not None else None  # (B, R, C, d)
         global_pooled = (
-            global_temporal.mean(axis=0).reshape(r, c, cfg.dim)
+            global_temporal.mean(axis=1).reshape(b, r, c, cfg.dim)
             if global_temporal is not None
             else None
         )
@@ -211,13 +259,18 @@ class STHSL(nn.Module):
     # ------------------------------------------------------------------
     # Joint objective
     # ------------------------------------------------------------------
-    def loss(self, output: STHSLOutput, target: np.ndarray) -> STHSLLoss:
+    def loss(self, output: STHSLOutput | STHSLBatchOutput, target: np.ndarray) -> STHSLLoss:
         """Joint loss (Eq 10): prediction + λ1·L^(I) + λ2·L^(C).
 
-        ``target`` is the normalised next-day matrix ``(R, C)``.  The
+        ``target`` is the normalised next-day matrix ``(R, C)`` — or a
+        stacked batch ``(B, R, C)`` when ``output`` came from
+        :meth:`forward_batch`.  Every term is a mean over samples, so the
+        batched loss gradient equals the average of the per-sample loss
+        gradients (the equivalence tier-1 tests lock this).  The
         weight-decay term λ3‖Θ‖² is applied by the optimiser.
         """
         cfg = self.config
+        target = np.asarray(target, dtype=output.prediction.dtype)
         pred_loss = F.mse_loss(output.prediction, target, reduction="mean")
         total = pred_loss
         infomax_value = 0.0
@@ -258,22 +311,23 @@ class STHSL(nn.Module):
 
         Embeddings are mean-pooled over the temporal dimension; for each
         category the (region-aligned) local and global vectors form
-        positive pairs, other regions provide negatives.
+        positive pairs, other regions provide negatives.  All (window,
+        category) pairs are evaluated in a single vectorized ``info_nce``
+        call — ``(B, C, R, d)`` anchors against positives — instead of a
+        python loop over categories.
         """
         cfg = self.config
         r = cfg.num_regions
         c = cfg.num_categories
-        local_pooled = local.mean(axis=1)  # (R, C, d)
-        global_pooled = global_temporal.mean(axis=0).reshape(r, c, cfg.dim)
-        losses = []
-        for cat in range(c):
-            anchor = global_pooled[:, cat, :]
-            positive = local_pooled[:, cat, :]
-            losses.append(F.info_nce(anchor, positive, cfg.temperature))
-        total = losses[0]
-        for item in losses[1:]:
-            total = total + item
-        return total / float(c)
+        if local.ndim == 4:  # unbatched (R, T, C, d) / (T, RC, d)
+            local = local.expand_dims(0)
+            global_temporal = global_temporal.expand_dims(0)
+        b = local.shape[0]
+        local_pooled = local.mean(axis=2)  # (B, R, C, d)
+        global_pooled = global_temporal.mean(axis=1).reshape(b, r, c, cfg.dim)
+        anchor = global_pooled.transpose(0, 2, 1, 3)  # (B, C, R, d)
+        positive = local_pooled.transpose(0, 2, 1, 3)
+        return F.info_nce(anchor, positive, cfg.temperature)
 
     # ------------------------------------------------------------------
     # Convenience
@@ -289,11 +343,27 @@ class STHSL(nn.Module):
         output = self.forward(window)
         return self.loss(output, target).total
 
+    def training_loss_batch(self, windows: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Joint objective over a stacked batch ``(B, R, T, C)`` / ``(B, R, C)``.
+
+        The returned loss is a mean over the batch, so its gradient equals
+        the average of ``B`` per-sample ``training_loss`` gradients — one
+        optimizer step per batch replaces ``B`` graph walks.
+        """
+        output = self.forward_batch(windows)
+        return self.loss(output, targets).total
+
     def predict(self, window: np.ndarray) -> np.ndarray:
         """Inference: normalised window in, normalised prediction out."""
         self.eval()
         with nn.no_grad():
             return self.forward(window).prediction.data.copy()
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Batched inference: ``(B, R, T, C)`` in, ``(B, R, C)`` out."""
+        self.eval()
+        with nn.no_grad():
+            return self.forward_batch(windows).prediction.data.copy()
 
     def hyperedge_relevance(self, window: np.ndarray) -> np.ndarray:
         """Time-aware region-hyperedge dependency scores (Figure 8)."""

@@ -52,7 +52,7 @@ class _SpatialLayer(nn.Module):
         self.drop = nn.Dropout(dropout, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        """``x`` has shape ``(T, C*d, I, J)``."""
+        """``x`` has shape ``(B*T, C*d, I, J)`` (batch folded into images)."""
         if self.cross_category:
             out = self.conv(x)
         else:
@@ -96,14 +96,26 @@ class SpatialConvEncoder(nn.Module):
         )
 
     def forward(self, embeddings: Tensor) -> Tensor:
-        """Encode ``(R, T, C, d)`` embeddings into ``H^(R)`` of same shape."""
-        r, t, c, d = embeddings.shape
-        # (R, T, C, d) -> grid image layout (T, C*d, I, J)
+        """Encode embeddings into ``H^(R)`` of the same shape.
+
+        Accepts a single window ``(R, T, C, d)`` or a stacked batch
+        ``(B, R, T, C, d)``.  Batched windows share one conv invocation by
+        folding the batch into the image axis: ``(B*T, C*d, I, J)``.
+        """
+        squeeze = embeddings.ndim == 4
+        if squeeze:
+            embeddings = embeddings.expand_dims(0)
+        b, r, t, c, d = embeddings.shape
         image = (
-            embeddings.reshape(self.rows, self.cols, t, c * d)
-            .transpose(2, 3, 0, 1)
+            embeddings.reshape(b, self.rows, self.cols, t, c * d)
+            .transpose(0, 3, 4, 1, 2)
+            .reshape(b * t, c * d, self.rows, self.cols)
         )
         for layer in self.layers:
             image = layer(image)
-        # Back to (R, T, C, d)
-        return image.transpose(2, 3, 0, 1).reshape(r, t, c, d)
+        out = (
+            image.reshape(b, t, c * d, self.rows, self.cols)
+            .transpose(0, 3, 4, 1, 2)
+            .reshape(b, r, t, c, d)
+        )
+        return out.squeeze(0) if squeeze else out

@@ -31,7 +31,7 @@ class _TemporalLayer(nn.Module):
         self.drop = nn.Dropout(dropout, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        """``x`` has shape ``(R, C*d, T)``."""
+        """``x`` has shape ``(B*R, C*d, T)`` (batch folded into sequences)."""
         return (self.drop(self.conv(x)) + x).leaky_relu(self.leaky_slope)
 
 
@@ -59,9 +59,17 @@ class TemporalConvEncoder(nn.Module):
         )
 
     def forward(self, h_spatial: Tensor) -> Tensor:
-        """Encode ``(R, T, C, d)`` into ``H^(T)`` of the same shape."""
-        r, t, c, d = h_spatial.shape
-        sequence = h_spatial.reshape(r, t, c * d).transpose(0, 2, 1)  # (R, C*d, T)
+        """Encode ``(R, T, C, d)`` (or batched ``(B, R, T, C, d)``) into
+        ``H^(T)`` of the same shape, folding the batch into the conv's
+        sequence axis: ``(B*R, C*d, T)``."""
+        squeeze = h_spatial.ndim == 4
+        if squeeze:
+            h_spatial = h_spatial.expand_dims(0)
+        b, r, t, c, d = h_spatial.shape
+        sequence = (
+            h_spatial.reshape(b, r, t, c * d).transpose(0, 1, 3, 2).reshape(b * r, c * d, t)
+        )
         for layer in self.layers:
             sequence = layer(sequence)
-        return sequence.transpose(0, 2, 1).reshape(r, t, c, d)
+        out = sequence.reshape(b, r, c * d, t).transpose(0, 1, 3, 2).reshape(b, r, t, c, d)
+        return out.squeeze(0) if squeeze else out

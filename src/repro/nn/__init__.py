@@ -27,12 +27,25 @@ from .module import Module, ModuleList, Parameter, Sequential
 from .ops import conv1d, conv2d
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .serialization import load_module, load_state, save_module, save_state
-from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    dtype_scope,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    stack,
+    where,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "dtype_scope",
     "concatenate",
     "stack",
     "where",

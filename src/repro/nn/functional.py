@@ -84,7 +84,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, target: np.ndarray) -> Tens
 
     Uses the stable form ``max(z,0) - z*y + log(1 + exp(-|z|))``.
     """
-    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    target_t = Tensor(np.asarray(target, dtype=logits.data.dtype))
     positive = logits.relu()
     return (positive - logits * target_t + ((-logits.abs()).exp() + 1.0).log()).mean()
 
@@ -92,16 +92,22 @@ def binary_cross_entropy_with_logits(logits: Tensor, target: np.ndarray) -> Tens
 def info_nce(anchor: Tensor, positive: Tensor, temperature: float = 0.5) -> Tensor:
     """InfoNCE over row-aligned batches (Eq 8 of the paper).
 
-    ``anchor`` and ``positive`` are ``(N, d)``; row ``i`` of each is a
+    ``anchor`` and ``positive`` are ``(..., N, d)``; row ``i`` of each is a
     positive pair, and every other row of ``positive`` provides the
-    negatives for anchor ``i``.  Returns the mean contrastive loss.
+    negatives for anchor ``i``.  Any leading axes are vectorized in a
+    single batched matmul — ST-HSL evaluates one InfoNCE term per
+    (window, category) pair, so the whole contrastive loss is one call.
+    Returns the mean contrastive loss over all leading axes and ``N``.
     """
     a = normalize(anchor, axis=-1)
     p = normalize(positive, axis=-1)
-    logits = (a @ p.T) * (1.0 / temperature)
+    logits = (a @ p.swapaxes(-1, -2)) * (1.0 / temperature)
     log_probs = log_softmax(logits, axis=-1)
-    n = anchor.shape[0]
-    diag = log_probs[np.arange(n), np.arange(n)]
+    n = anchor.shape[-2]
+    # Extract the positive-pair diagonal with an eye mask: stays a single
+    # dense reduction, and broadcasts over any leading batch axes.
+    eye = np.eye(n, dtype=log_probs.data.dtype)
+    diag = (log_probs * eye).sum(axis=-1)
     return -diag.mean()
 
 

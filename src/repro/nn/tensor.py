@@ -24,9 +24,62 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "set_default_dtype",
+    "get_default_dtype",
+    "dtype_scope",
+]
 
 _GRAD_ENABLED = True
+
+# ---------------------------------------------------------------------------
+# Compute dtype control
+# ---------------------------------------------------------------------------
+# float64 keeps finite-difference gradient checks tight and is the default;
+# float32 halves memory traffic on the conv/matmul hot paths and is exposed
+# as an opt-in compute mode (see STHSLConfig.compute_dtype and the perf
+# harness under benchmarks/perf/).
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype new tensors are created with (float32 or float64).
+
+    Integer/bool inputs are always promoted to this dtype; float inputs are
+    recast only when a non-float64 default is active, so the float64 default
+    preserves historical behaviour exactly.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype!r}")
+    _DEFAULT_DTYPE = resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype used for newly created tensors."""
+    return _DEFAULT_DTYPE
+
+
+class dtype_scope:
+    """Context manager that temporarily switches the default compute dtype."""
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+        self._prev: np.dtype | None = None
+
+    def __enter__(self) -> "dtype_scope":
+        self._prev = _DEFAULT_DTYPE
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_default_dtype(self._prev)
 
 
 class no_grad:
@@ -65,11 +118,33 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     extra = grad.ndim - len(shape)
     if extra > 0:
         grad = grad.sum(axis=tuple(range(extra)))
+        if grad.shape == shape:  # fast path: only leading axes were broadcast
+            return grad
     # Sum over axes that were size-1 in the original shape.
     axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+    return grad if grad.shape == shape else grad.reshape(shape)
+
+
+def _index_may_repeat(index) -> bool:
+    """Whether an index could select the same element twice.
+
+    Only integer-sequence (fancy) indices can alias; slices, scalars,
+    ellipsis, ``None`` and boolean masks cannot, so their gradient can be
+    written with direct slice assignment instead of ``np.add.at``.  Any
+    sequence item (list, ndarray, tuple, range, ...) inside a tuple index
+    is treated as fancy — numpy interprets all of them as integer arrays.
+    """
+    items = index if isinstance(index, tuple) else (index,)
+    for item in items:
+        if isinstance(item, np.ndarray):
+            if item.dtype.kind != "b":
+                return True
+        elif not isinstance(item, (int, np.integer, slice, type(None), type(Ellipsis))):
+            # list/tuple/range/other array-likes: conservatively scatter.
+            return True
+    return False
 
 
 def _as_array(value, dtype=None) -> np.ndarray:
@@ -77,7 +152,9 @@ def _as_array(value, dtype=None) -> np.ndarray:
         raise TypeError("pass Tensor.data, not Tensor, to _as_array")
     arr = np.asarray(value, dtype=dtype)
     if arr.dtype.kind in "iub":
-        arr = arr.astype(np.float64)
+        arr = arr.astype(_DEFAULT_DTYPE)
+    elif arr.dtype.kind == "f" and _DEFAULT_DTYPE != np.float64 and arr.dtype != _DEFAULT_DTYPE:
+        arr = arr.astype(_DEFAULT_DTYPE)
     return arr
 
 
@@ -160,15 +237,26 @@ class Tensor:
         return out
 
     @staticmethod
-    def _accum(parent: "Tensor", grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into ``parent.grad`` respecting broadcasting."""
+    def _accum(parent: "Tensor", grad: np.ndarray, own: bool = False) -> None:
+        """Accumulate ``grad`` into ``parent.grad`` respecting broadcasting.
+
+        ``own=True`` asserts the caller hands over a freshly allocated array
+        that no other graph node aliases, letting the first accumulation
+        adopt it without a defensive copy — the dominant case on the conv
+        and matmul hot paths.  Reductions performed by :func:`unbroadcast`
+        always produce fresh arrays, so they are adopted too.
+        """
         if not parent.requires_grad:
             return
-        grad = unbroadcast(grad, parent.data.shape)
+        reduced = unbroadcast(grad, parent.data.shape)
         if parent.grad is None:
-            parent.grad = grad.copy()
+            if own or reduced is not grad:
+                # np.broadcast_to views are read-only and must not be adopted.
+                parent.grad = reduced if reduced.flags.writeable else reduced.copy()
+            else:
+                parent.grad = reduced.copy()
         else:
-            parent.grad += grad
+            parent.grad += reduced
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode accumulation from this tensor.
@@ -198,11 +286,22 @@ class Tensor:
                     stack.append((parent, False))
 
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward()
+            backward_fn = node._backward
+            if backward_fn is not None and node.grad is not None:
+                backward_fn()
             # Free graph references as we go so large graphs do not leak.
             node._backward = None
             node._parents = ()
+            # An op output's gradient is dead once it has been pushed to its
+            # parents; dropping it frees the buffer immediately and lets
+            # closures transfer it to a parent without a defensive copy
+            # (the ``own=True`` fast path in :meth:`_accum`).  Leaves keep
+            # their gradients for the optimiser; the root keeps a snapshot
+            # copy so a parent that adopted its buffer cannot mutate the
+            # value the caller reads (the root is typically a scalar loss,
+            # so the copy is free).
+            if backward_fn is not None:
+                node.grad = node.grad.copy() if node is self and node.grad is not None else None
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
@@ -211,55 +310,71 @@ class Tensor:
     def _coerce(value) -> "Tensor":
         return value if isinstance(value, Tensor) else Tensor(value)
 
+    def _coerce_like(self, value) -> "Tensor":
+        """Coerce ``value`` to a Tensor, matching this tensor's float dtype
+        for scalar operands so float32 graphs are not upcast by python
+        constants (which numpy would otherwise promote to float64)."""
+        if isinstance(value, Tensor):
+            return value
+        arr = np.asarray(value)
+        if arr.ndim == 0 and self.data.dtype.kind == "f" and arr.dtype != self.data.dtype:
+            arr = arr.astype(self.data.dtype)
+        return Tensor(arr)
+
     def __add__(self, other) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce_like(other)
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad)
-            Tensor._accum(other, out.grad)
+            # out.grad is dead after this closure (backward() frees it), so
+            # exactly one parent may adopt the buffer instead of copying.
+            # Safe when self is other too: the first accumulation above has
+            # then already populated the grad, so this one takes the
+            # ``+=`` branch rather than adopting.
+            Tensor._accum(other, out.grad, own=True)
 
         return Tensor._make(self.data + other.data, (self, other), backward)
 
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce_like(other)
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad)
-            Tensor._accum(other, -out.grad)
+            Tensor._accum(other, -out.grad, own=True)
 
         return Tensor._make(self.data - other.data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return self._coerce(other) - self
+        return self._coerce_like(other) - self
 
     def __mul__(self, other) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce_like(other)
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * other.data)
-            Tensor._accum(other, out.grad * self.data)
+            Tensor._accum(self, out.grad * other.data, own=True)
+            Tensor._accum(other, out.grad * self.data, own=True)
 
         return Tensor._make(self.data * other.data, (self, other), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce_like(other)
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad / other.data)
-            Tensor._accum(other, -out.grad * self.data / (other.data ** 2))
+            Tensor._accum(self, out.grad / other.data, own=True)
+            Tensor._accum(other, -out.grad * self.data / (other.data ** 2), own=True)
 
         return Tensor._make(self.data / other.data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return self._coerce(other) / self
+        return self._coerce_like(other) / self
 
     def __neg__(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, -out.grad)
+            Tensor._accum(self, -out.grad, own=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -268,7 +383,7 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * exponent * self.data ** (exponent - 1))
+            Tensor._accum(self, out.grad * exponent * self.data ** (exponent - 1), own=True)
 
         return Tensor._make(self.data ** exponent, (self,), backward)
 
@@ -292,13 +407,13 @@ class Tensor:
         result = np.exp(self.data)
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * result)
+            Tensor._accum(self, out.grad * result, own=True)
 
         return Tensor._make(result, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad / self.data)
+            Tensor._accum(self, out.grad / self.data, own=True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
@@ -306,13 +421,13 @@ class Tensor:
         result = np.sqrt(self.data)
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad / (2.0 * result))
+            Tensor._accum(self, out.grad / (2.0 * result), own=True)
 
         return Tensor._make(result, (self,), backward)
 
     def abs(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * np.sign(self.data))
+            Tensor._accum(self, out.grad * np.sign(self.data), own=True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
@@ -320,7 +435,7 @@ class Tensor:
         result = np.tanh(self.data)
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * (1.0 - result ** 2))
+            Tensor._accum(self, out.grad * (1.0 - result ** 2), own=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -328,7 +443,7 @@ class Tensor:
         result = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * result * (1.0 - result))
+            Tensor._accum(self, out.grad * result * (1.0 - result), own=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -336,16 +451,17 @@ class Tensor:
         mask = self.data > 0
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * mask)
+            Tensor._accum(self, out.grad * mask, own=True)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         """LeakyReLU, the activation used throughout ST-HSL (paper σ(·))."""
-        factor = np.where(self.data > 0, 1.0, negative_slope)
+        one = self.data.dtype.type(1.0)  # keep float32 graphs in float32
+        factor = np.where(self.data > 0, one, self.data.dtype.type(negative_slope))
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * factor)
+            Tensor._accum(self, out.grad * factor, own=True)
 
         return Tensor._make(self.data * factor, (self,), backward)
 
@@ -353,7 +469,7 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(out: Tensor) -> None:
-            Tensor._accum(self, out.grad * mask)
+            Tensor._accum(self, out.grad * mask, own=True)
 
         return Tensor._make(np.clip(self.data, low, high), (self,), backward)
 
@@ -380,7 +496,8 @@ class Tensor:
             grad = out.grad
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis=axis)
-            Tensor._accum(self, np.broadcast_to(grad, self.data.shape) / count)
+            # The division materialises a fresh array from the view.
+            Tensor._accum(self, np.broadcast_to(grad, self.data.shape) / count, own=True)
 
         return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
 
@@ -390,17 +507,24 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         result = self.data.max(axis=axis, keepdims=keepdims)
+        # Shape of the result with reduced axes kept as size-1: broadcasts
+        # against self.data for every axis/keepdims combination, including
+        # axis=None on multi-dim inputs where all axes are reduced.
+        if keepdims:
+            kept_shape = result.shape
+        elif axis is None:
+            kept_shape = (1,) * self.data.ndim
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = {a % self.data.ndim for a in axes}
+            kept_shape = tuple(1 if i in axes else s for i, s in enumerate(self.data.shape))
 
         def backward(out: Tensor) -> None:
-            grad = out.grad
-            expanded = result
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis=axis)
-                expanded = np.expand_dims(result, axis=axis)
-            mask = (self.data == expanded).astype(self.data.dtype)
+            grad = out.grad.reshape(kept_shape)
+            mask = (self.data == result.reshape(kept_shape)).astype(self.data.dtype)
             # Split gradient evenly among ties, matching subgradient choice.
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
-            Tensor._accum(self, mask * grad)
+            Tensor._accum(self, mask * grad, own=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -456,8 +580,14 @@ class Tensor:
             if not self.requires_grad:
                 return
             grad = np.zeros_like(self.data)
-            np.add.at(grad, index, out.grad)
-            Tensor._accum(self, grad)
+            if _index_may_repeat(index):
+                np.add.at(grad, index, out.grad)
+            else:
+                # Basic and boolean indexing select each element at most
+                # once, so direct assignment replaces the (much slower)
+                # np.add.at scatter.
+                grad[index] = out.grad
+            Tensor._accum(self, grad, own=True)
 
         return Tensor._make(self.data[index], (self,), backward)
 
@@ -476,7 +606,7 @@ class Tensor:
     # Linear algebra
     # ------------------------------------------------------------------
     def __matmul__(self, other) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce_like(other)
         a, b = self.data, other.data
 
         def backward(out: Tensor) -> None:
@@ -491,7 +621,7 @@ class Tensor:
                     ga = (np.expand_dims(grad, -2) if a.ndim == 1 else grad) @ gb_t
                     if a.ndim == 1:
                         ga = ga.reshape(a.shape[-1:]) if ga.ndim == 1 else ga[..., 0, :]
-                Tensor._accum(self, ga)
+                Tensor._accum(self, ga, own=True)
             if other.requires_grad:
                 if a.ndim == 1:
                     gb = np.outer(a, grad) if b.ndim == 2 else a * grad
@@ -502,7 +632,7 @@ class Tensor:
                         gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
                 else:
                     gb = np.swapaxes(a, -1, -2) @ grad
-                Tensor._accum(other, gb)
+                Tensor._accum(other, gb, own=True)
 
         return Tensor._make(a @ b, (self, other), backward)
 
@@ -561,7 +691,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     condition = np.asarray(condition)
 
     def backward(out: Tensor) -> None:
-        Tensor._accum(a, out.grad * condition)
-        Tensor._accum(b, out.grad * (~condition))
+        Tensor._accum(a, out.grad * condition, own=True)
+        Tensor._accum(b, out.grad * (~condition), own=True)
 
     return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)

@@ -6,7 +6,7 @@ from .forecast import evaluate_horizon, recursive_forecast
 from .interface import ForecastModel
 from .metrics import mae, mape, masked_mae, masked_mape, metric_frame, rmse
 from .trainer import EpochStats, Trainer, TrainResult
-from .windows import WindowDataset, WindowSample
+from .windows import WindowBatch, WindowDataset, WindowSample
 
 __all__ = [
     "ForecastModel",
@@ -15,6 +15,7 @@ __all__ = [
     "EpochStats",
     "WindowDataset",
     "WindowSample",
+    "WindowBatch",
     "EvaluationResult",
     "evaluate_model",
     "recursive_forecast",

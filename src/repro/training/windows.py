@@ -14,7 +14,7 @@ import numpy as np
 
 from ..data.datasets import CrimeDataset
 
-__all__ = ["WindowSample", "WindowDataset"]
+__all__ = ["WindowSample", "WindowBatch", "WindowDataset"]
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,20 @@ class WindowSample:
     window: np.ndarray  # (R, W, C) z-scored history
     target: np.ndarray  # (R, C) z-scored next day
     raw_target: np.ndarray  # (R, C) counts
+
+
+@dataclass(frozen=True)
+class WindowBatch:
+    """A contiguous stack of samples for one vectorized model invocation."""
+
+    days: tuple[int, ...]  # target day index of each stacked sample
+    windows: np.ndarray  # (B, R, W, C) z-scored histories
+    targets: np.ndarray  # (B, R, C) z-scored next days
+    raw_targets: np.ndarray  # (B, R, C) counts
+
+    @property
+    def size(self) -> int:
+        return len(self.days)
 
 
 class WindowDataset:
@@ -77,12 +91,49 @@ class WindowDataset:
         ``limit`` caps samples per epoch — the knob the reduced-scale
         benchmark protocol uses to bound epoch cost.
         """
+        for day in self._shuffled_days(rng, limit):
+            yield self._sample(int(day))
+
+    def _shuffled_days(self, rng: np.random.Generator, limit: int | None) -> np.ndarray:
         days = np.fromiter(self._days("train"), dtype=int)
         rng.shuffle(days)
         if limit is not None:
             days = days[:limit]
-        for day in days:
-            yield self._sample(int(day))
+        return days
+
+    def _batch(self, days) -> WindowBatch:
+        """Stack the samples of ``days`` into contiguous batch arrays."""
+        samples = [self._sample(int(day)) for day in days]
+        return WindowBatch(
+            days=tuple(s.day for s in samples),
+            windows=np.stack([s.window for s in samples]),
+            targets=np.stack([s.target for s in samples]),
+            raw_targets=np.stack([s.raw_target for s in samples]),
+        )
+
+    def batches(self, split: str, batch_size: int) -> Iterator[WindowBatch]:
+        """Chronological batches of a split (for vectorized evaluation)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        days = list(self._days(split))
+        for start in range(0, len(days), batch_size):
+            yield self._batch(days[start : start + batch_size])
+
+    def train_batches(
+        self, rng: np.random.Generator, batch_size: int, limit: int | None = None
+    ) -> Iterator[WindowBatch]:
+        """Shuffled training batches.
+
+        Consumes the RNG exactly like :meth:`shuffled_train` (one shuffle
+        of the day list), then chunks the same ordering into stacks — so a
+        batched epoch visits samples in the identical order its per-sample
+        counterpart would, just ``batch_size`` at a time.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        days = self._shuffled_days(rng, limit)
+        for start in range(0, len(days), batch_size):
+            yield self._batch(days[start : start + batch_size])
 
     def denormalize(self, values: np.ndarray) -> np.ndarray:
         """Map normalised predictions back to case counts (floored at 0)."""

@@ -1,0 +1,138 @@
+"""Batched-vs-sequential equivalence: the contract of the batched forward.
+
+One batched ``training_loss_batch`` over ``B`` stacked windows must
+produce the same parameter gradients as ``B`` accumulated per-sample
+backward passes divided by ``B`` (the trainer's accumulate-and-average
+schedule).  Dropout is disabled so both paths draw identical randomness;
+the corruption RNG consumes one permutation per window in batch order on
+both paths by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import STHSL, STHSLConfig
+from repro.data import load_city
+from repro.training import Trainer, WindowDataset
+
+ATOL = 1e-8
+BATCH = 3
+
+
+def _cfg(**overrides):
+    base = dict(
+        rows=4, cols=4, num_categories=2, window=8, dim=4, num_hyperedges=8,
+        num_global_temporal_layers=2, dropout=0.0,
+    )
+    base.update(overrides)
+    return STHSLConfig(**base)
+
+
+def _data(cfg, batch=BATCH, seed=7):
+    rng = np.random.default_rng(seed)
+    windows = rng.standard_normal((batch, cfg.num_regions, cfg.window, cfg.num_categories))
+    targets = rng.standard_normal((batch, cfg.num_regions, cfg.num_categories))
+    return windows, targets
+
+
+def _sequential_grads(cfg, windows, targets):
+    model = STHSL(cfg, seed=0)
+    model.train()
+    for window, target in zip(windows, targets):
+        model.training_loss(window, target).backward()
+    return {name: p.grad / len(windows) for name, p in model.named_parameters()}
+
+
+def _batched_grads(cfg, windows, targets):
+    model = STHSL(cfg, seed=0)
+    model.train()
+    model.training_loss_batch(windows, targets).backward()
+    return {name: p.grad for name, p in model.named_parameters()}
+
+
+class TestGradientEquivalence:
+    def test_full_model(self):
+        cfg = _cfg()
+        windows, targets = _data(cfg)
+        sequential = _sequential_grads(cfg, windows, targets)
+        batched = _batched_grads(cfg, windows, targets)
+        assert set(sequential) == set(batched)
+        for name in sequential:
+            assert sequential[name] is not None, name
+            np.testing.assert_allclose(
+                batched[name], sequential[name], atol=ATOL, rtol=0, err_msg=name
+            )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(fusion=True),
+            dict(use_global=False),
+            dict(use_local=False, use_contrastive=False),
+            dict(use_hypergraph=False, use_global=False, use_infomax=False, use_contrastive=False),
+            dict(corruption="noise"),
+            dict(cross_category=False),
+        ],
+        ids=["fusion", "wo-global", "wo-local", "wo-hyper", "noise-corruption", "wo-cconv"],
+    )
+    def test_ablation_variants(self, overrides):
+        cfg = _cfg(**overrides)
+        windows, targets = _data(cfg)
+        sequential = _sequential_grads(cfg, windows, targets)
+        batched = _batched_grads(cfg, windows, targets)
+        for name in sequential:
+            np.testing.assert_allclose(
+                batched[name], sequential[name], atol=ATOL, rtol=0, err_msg=name
+            )
+
+    def test_predictions_identical(self):
+        cfg = _cfg()
+        windows, _ = _data(cfg)
+        model = STHSL(cfg, seed=0)
+        per_sample = np.stack([model.predict(w) for w in windows])
+        stacked = model.predict_batch(windows)
+        # Not bitwise: BLAS may pick different gemm kernels per batch size.
+        np.testing.assert_allclose(per_sample, stacked, atol=1e-12, rtol=0)
+
+    def test_loss_values_match(self):
+        cfg = _cfg()
+        windows, targets = _data(cfg)
+        m1 = STHSL(cfg, seed=0)
+        m1.train()
+        per_sample = np.mean(
+            [float(m1.training_loss(w, t).data) for w, t in zip(windows, targets)]
+        )
+        m2 = STHSL(cfg, seed=0)
+        m2.train()
+        batched = float(m2.training_loss_batch(windows, targets).data)
+        assert batched == pytest.approx(per_sample, abs=ATOL)
+
+
+class TestTrainerPaths:
+    """The two trainer execution paths take numerically matching steps."""
+
+    def test_batched_and_sequential_epochs_match(self):
+        dataset = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
+        windows = WindowDataset(dataset, window=6)
+        cfg = _cfg(window=6, num_categories=dataset.num_categories, dropout=0.0)
+
+        def run(use_batched):
+            model = STHSL(cfg, seed=0)
+            trainer = Trainer(model, lr=1e-3, batch_size=4, seed=0, use_batched=use_batched)
+            trainer._train_epoch(windows, train_limit=8)
+            return {name: p.data.copy() for name, p in model.named_parameters()}
+
+        sequential = run(False)
+        batched = run(True)
+        for name in sequential:
+            np.testing.assert_allclose(
+                batched[name], sequential[name], atol=1e-10, rtol=0, err_msg=name
+            )
+
+    def test_validate_matches(self):
+        dataset = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
+        windows = WindowDataset(dataset, window=6)
+        cfg = _cfg(window=6, num_categories=dataset.num_categories)
+        val_batched = Trainer(STHSL(cfg, seed=0), seed=0, use_batched=True).validate(windows)
+        val_sequential = Trainer(STHSL(cfg, seed=0), seed=0, use_batched=False).validate(windows)
+        assert val_batched == pytest.approx(val_sequential, abs=1e-10)

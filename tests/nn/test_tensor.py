@@ -249,3 +249,95 @@ class TestUnbroadcast:
     def test_scalar_target(self):
         g = np.ones((2, 2))
         assert unbroadcast(g, ()).shape == ()
+
+
+class TestMaxGradientTies:
+    """Regression: even tie-splitting for every axis/keepdims combination.
+
+    The global reduction (``axis=None, keepdims=False``) on multi-dim
+    inputs skips the expand_dims path, so it is locked here explicitly
+    alongside the per-axis cases.
+    """
+
+    def test_global_reduction_multidim_splits_ties(self):
+        a = Tensor(np.array([[1.0, 3.0], [3.0, 2.0]]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [[0.0, 0.5], [0.5, 0.0]])
+
+    def test_global_reduction_keepdims(self):
+        a = Tensor(np.array([[1.0, 3.0], [3.0, 2.0]]), requires_grad=True)
+        out = a.max(keepdims=True)
+        assert out.shape == (1, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, [[0.0, 0.5], [0.5, 0.0]])
+
+    def test_per_axis_reduction_splits_ties(self):
+        a = Tensor(np.array([[1.0, 3.0], [3.0, 3.0]]), requires_grad=True)
+        a.max(axis=0).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 0.5], [1.0, 0.5]])
+
+    def test_negative_axis(self):
+        a = Tensor(np.array([[2.0, 2.0], [1.0, 5.0]]), requires_grad=True)
+        a.max(axis=-1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5], [0.0, 1.0]])
+
+    def test_tuple_axis_reduction(self):
+        data = np.zeros((2, 2, 2))
+        data[0, 0, 0] = data[1, 1, 1] = 7.0  # tie across the reduced axes
+        a = Tensor(data, requires_grad=True)
+        out = a.max(axis=(0, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        expected = np.zeros((2, 2, 2))
+        expected[0, 0, 0] = expected[1, 1, 1] = 1.0  # unique max per slice
+        assert np.allclose(a.grad, expected)
+
+    def test_global_gradcheck_multidim(self):
+        from repro.nn.gradcheck import gradcheck
+
+        a = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        gradcheck(lambda t: t.max(), [a])
+
+    def test_min_shares_tie_splitting(self):
+        a = Tensor(np.array([[-3.0, 1.0], [-3.0, 2.0]]), requires_grad=True)
+        a.min().backward()
+        assert np.allclose(a.grad, [[0.5, 0.0], [0.5, 0.0]])
+
+
+class TestBackwardBufferSafety:
+    """Regression tests for the own= gradient-buffer adoption fast path."""
+
+    def test_root_grad_survives_parent_adoption(self):
+        """z = m + x hands z's grad buffer to x; later accumulation into x
+        must not mutate the value z.grad reports after backward()."""
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        m = x * 2.0
+        z = m + x
+        z.backward()
+        assert np.allclose(z.grad, [1.0])
+        assert np.allclose(x.grad, [3.0])
+
+    def test_tuple_fancy_index_accumulates_repeats(self):
+        """An inner tuple index is fancy indexing: repeated entries must
+        accumulate, not last-write-win."""
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[:, (0, 0)].sum().backward()
+        assert np.allclose(x.grad, [[2.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+
+    def test_list_fancy_index_accumulates_repeats(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x[[1, 1, 3]].sum().backward()
+        assert np.allclose(x.grad, [0.0, 2.0, 0.0, 1.0])
+
+    def test_basic_index_fast_path(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        x[1:, ::2].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1:, ::2] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_boolean_mask_fast_path(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        x[mask].sum().backward()
+        assert np.allclose(x.grad, [1.0, 0.0, 1.0, 0.0])

@@ -1,0 +1,68 @@
+"""Smoke test for the tracked perf harness (tier-1, < 30 s).
+
+Runs one tiny throughput measurement through the same code path as
+``benchmarks/perf/run_all.py`` and validates the ``BENCH_perf.json``
+schema, so schema or harness breakage is caught by the default suite
+rather than at the next manual bench run.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    PERF_SCHEMA,
+    measure_perf,
+    validate_perf_payload,
+    write_perf_json,
+)
+from repro.analysis.experiment import ExperimentBudget
+from repro.data import load_city
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke(tmp_path):
+    dataset = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
+    budget = ExperimentBudget(window=6, train_limit=4, seed=0)
+    payload = measure_perf(
+        dataset,
+        budget,
+        batch_sizes=(1, 2),
+        reps=1,
+        include_float32=True,
+        seed_reference={"commit": "162b557", "epoch_seconds": 1.0},
+        fast_alloc=False,  # leave the test runner's allocator untouched
+    )
+
+    validate_perf_payload(payload)
+    assert payload["schema"] == PERF_SCHEMA
+    modes = {(e["mode"], e["dtype"], e["batch_size"]) for e in payload["modes"]}
+    assert ("sequential", "float64", 2) in modes
+    assert ("batched", "float64", 1) in modes
+    assert ("batched", "float64", 2) in modes
+    assert ("batched", "float32", 2) in modes
+    assert all(e["windows_per_sec"] > 0 for e in payload["modes"])
+    assert "batched_top_vs_seed" in payload["speedups"]
+
+    out = tmp_path / "BENCH_perf.json"
+    write_perf_json(payload, out)
+    assert json.loads(out.read_text())["schema"] == PERF_SCHEMA
+
+
+@pytest.mark.perf_smoke
+def test_perf_schema_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_perf_payload({"schema": "nope"})
+    with pytest.raises(ValueError):
+        validate_perf_payload(
+            {"schema": PERF_SCHEMA, "geometry": {}, "modes": [], "speedups": {}}
+        )
+    with pytest.raises(ValueError):
+        validate_perf_payload(
+            {
+                "schema": PERF_SCHEMA,
+                "geometry": {},
+                "modes": [{"mode": "batched", "dtype": "float64"}],
+                "speedups": {},
+            }
+        )
