@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis import default_config, train_and_evaluate
 from repro.analysis.visualization import format_table
-from repro.baselines import build_baseline
+from repro.api import REGISTRY
 from repro.core import STHSL
 
 from common import QUICK_BUDGET, WINDOW, dataset, print_header
@@ -106,7 +106,7 @@ def _hypergraph_comparison():
         full, data, QUICK_BUDGET
     ).evaluation.overall()
     # Static incidence (STSHN).
-    stshn = build_baseline("STSHN", data, window=WINDOW, hidden=8, seed=QUICK_BUDGET.seed)
+    stshn = REGISTRY.build("STSHN", dataset=data, window=WINDOW, hidden=8, seed=QUICK_BUDGET.seed)
     out["static incidence (STSHN)"] = train_and_evaluate(
         stshn, data, QUICK_BUDGET
     ).evaluation.overall()

@@ -8,10 +8,9 @@ rendered as ASCII heat maps of the city grid (darker = higher error).
 import numpy as np
 import pytest
 
-from repro.analysis import ascii_heatmap, make_sthsl, train_and_evaluate
-from repro.baselines import build_baseline
+from repro.analysis import ascii_heatmap, run as run_experiment
 
-from common import QUICK_BUDGET, WINDOW, dataset, print_header
+from common import QUICK_BUDGET, dataset, print_header, run_spec
 
 MODELS = ("ST-HSL", "DMSTGCN", "STSHN", "STtrans", "DeepCrime", "ST-ResNet")
 
@@ -20,11 +19,7 @@ def _error_maps(city: str):
     data = dataset(city)
     maps = {}
     for name in MODELS:
-        if name == "ST-HSL":
-            model = make_sthsl(data, QUICK_BUDGET)
-        else:
-            model = build_baseline(name, data, window=WINDOW, hidden=8, seed=QUICK_BUDGET.seed)
-        run = train_and_evaluate(model, data, QUICK_BUDGET)
+        run = run_experiment(run_spec(city, name, QUICK_BUDGET), dataset=data)
         maps[name] = run.evaluation.per_region_mape()
     return maps
 

@@ -8,11 +8,10 @@ robustness study.
 import numpy as np
 import pytest
 
-from repro.analysis import make_sthsl, train_and_evaluate
+from repro.analysis import run as run_experiment
 from repro.analysis.visualization import format_table
-from repro.baselines import build_baseline
 
-from common import QUICK_BUDGET, WINDOW, dataset, print_header
+from common import QUICK_BUDGET, dataset, print_header, run_spec
 
 MODELS = ("ST-ResNet", "DeepCrime", "DMSTGCN", "STSHN", "GMAN", "ST-HSL")
 
@@ -21,11 +20,7 @@ def _by_density(city: str):
     data = dataset(city)
     out = {}
     for name in MODELS:
-        if name == "ST-HSL":
-            model = make_sthsl(data, QUICK_BUDGET)
-        else:
-            model = build_baseline(name, data, window=WINDOW, hidden=8, seed=QUICK_BUDGET.seed)
-        run = train_and_evaluate(model, data, QUICK_BUDGET)
+        run = run_experiment(run_spec(city, name, QUICK_BUDGET), dataset=data)
         out[name] = run.evaluation.by_density(data.tensor)
     return out
 

@@ -11,11 +11,11 @@ is competitive-to-best, and classical ARIMA/SVM trail the deep models.
 import numpy as np
 import pytest
 
-from repro.analysis import make_sthsl, train_and_evaluate
-from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.analysis import run as run_experiment
+from repro.baselines import BASELINE_NAMES
 from repro.analysis.visualization import format_table
 
-from common import TRAIN_BUDGET, WINDOW, dataset, print_header
+from common import dataset, print_header, run_spec
 
 # Paper Table III, ST-HSL row (for side-by-side shape comparison).
 PAPER_STHSL = {
@@ -27,14 +27,15 @@ PAPER_STHSL = {
 
 
 def _run_city(city: str):
+    # Every row — the fifteen baselines and ST-HSL — is one RunSpec
+    # resolved through the model registry and executed through the shared
+    # experiment path (STGCN and ST-HSL take the batched trainer path,
+    # per their specs' supports_batching capability).
     data = dataset(city)
     results = {}
-    for name in BASELINE_NAMES:
-        model = build_baseline(name, data, window=WINDOW, hidden=8, seed=TRAIN_BUDGET.seed)
-        run = train_and_evaluate(model, data, TRAIN_BUDGET)
+    for name in (*BASELINE_NAMES, "ST-HSL"):
+        run = run_experiment(run_spec(city, name), dataset=data)
         results[name] = run.evaluation.per_category()
-    sthsl = make_sthsl(data, TRAIN_BUDGET)
-    results["ST-HSL"] = train_and_evaluate(sthsl, data, TRAIN_BUDGET).evaluation.per_category()
     return results
 
 

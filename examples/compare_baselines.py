@@ -2,7 +2,10 @@
 
 Trains ST-HSL against a representative subset of the paper's fifteen
 baselines (one per family: classical, CNN, GNN, attention, hypergraph)
-under an identical budget and prints a ranked table.
+under an identical budget and prints a ranked table.  Each run is
+described by a serializable :class:`repro.api.RunSpec` and executed
+through the shared experiment protocol, so every model — ST-HSL included
+— resolves through the model registry and trains under the same budget.
 
 Usage::
 
@@ -13,32 +16,30 @@ import sys
 
 import numpy as np
 
-from repro.analysis import ExperimentBudget, make_sthsl, train_and_evaluate
+from repro.analysis import run as run_experiment
 from repro.analysis.visualization import format_table
-from repro.baselines import build_baseline
-from repro.data import load_city
+from repro.api import DataSpec, ExperimentBudget, RunSpec
 
 # One representative per baseline family (run the full fifteen via
 # `pytest benchmarks/test_table3_overall.py`).
-MODELS = ("ARIMA", "SVM", "ST-ResNet", "STGCN", "DeepCrime", "STSHN")
+MODELS = ("ARIMA", "SVM", "ST-ResNet", "STGCN", "DeepCrime", "STSHN", "ST-HSL")
 
 
 def main(city: str = "nyc") -> None:
-    dataset = load_city(city, rows=6, cols=6, num_days=120, seed=0)
-    budget = ExperimentBudget(window=14, epochs=4, train_limit=30, batch_size=4, seed=0)
+    base = RunSpec(
+        data=DataSpec(city=city, rows=6, cols=6, num_days=120, seed=0),
+        budget=ExperimentBudget(window=14, epochs=4, train_limit=30, batch_size=4, seed=0),
+        hidden=8,
+    )
+    dataset = base.data.load()
     print(f"city={city}  regions={dataset.num_regions}  days={dataset.num_days}")
 
     scores: dict[str, dict] = {}
     for name in MODELS:
-        model = build_baseline(name, dataset, window=budget.window, hidden=8, seed=0)
-        run = train_and_evaluate(model, dataset, budget)
+        spec = base.with_model(name)
+        run = run_experiment(spec, dataset=dataset)
         scores[name] = run.evaluation.overall()
         print(f"trained {name:12s} MAE={scores[name]['mae']:.4f}")
-
-    sthsl = make_sthsl(dataset, budget)
-    run = train_and_evaluate(sthsl, dataset, budget)
-    scores["ST-HSL"] = run.evaluation.overall()
-    print(f"trained {'ST-HSL':12s} MAE={scores['ST-HSL']['mae']:.4f}")
 
     ranked = sorted(scores.items(), key=lambda kv: kv[1]["mae"])
     print("\nranking (overall masked MAE, lower is better):")

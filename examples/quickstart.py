@@ -1,11 +1,12 @@
 """Quickstart: train ST-HSL on synthetic NYC crime data and evaluate it.
 
-Runs in about a minute on a laptop.  Walks the full public API:
+Runs in about a minute on a laptop.  Walks the unified ``repro.api``
+surface:
 
 1. build a reduced-scale dataset calibrated to the paper's NYC statistics,
-2. configure and train ST-HSL,
+2. fit a :class:`repro.api.Forecaster` (model + trainer + budget in one),
 3. evaluate per-category masked MAE / MAPE on the held-out test days,
-4. save and reload the trained checkpoint.
+4. save a versioned checkpoint artifact and reload it from the file alone.
 
 Usage::
 
@@ -14,10 +15,8 @@ Usage::
 
 from pathlib import Path
 
-from repro import nn
-from repro.core import STHSL, STHSLConfig
+from repro.api import ExperimentBudget, Forecaster
 from repro.data import load_city
-from repro.training import Trainer, WindowDataset, evaluate_model
 
 
 def main() -> None:
@@ -28,35 +27,35 @@ def main() -> None:
           f"x {dataset.num_categories} categories")
     print(f"category totals: {dataset.category_totals()}")
 
-    # 2. Model: paper defaults scaled to the small grid (dim 8, 32
-    #    hyperedges); window = 14 days of history per prediction.
-    config = STHSLConfig(
-        rows=8, cols=8, num_categories=dataset.num_categories,
-        window=14, dim=8, num_hyperedges=32, num_global_temporal_layers=2,
+    # 2. Estimator: ST-HSL resolved through the model registry and trained
+    #    under an explicit budget; capacity scaled to the small grid
+    #    (dim 8; the builder's bench-scale default of 32 hyperedges).
+    forecaster = Forecaster(
+        "ST-HSL",
+        budget=ExperimentBudget(window=14, epochs=5, train_limit=40, patience=3, seed=0),
+        hidden=8,
     )
-    model = STHSL(config, seed=0)
-    print(f"ST-HSL parameters: {model.num_parameters():,}")
-
-    windows = WindowDataset(dataset, window=config.window)
-    trainer = Trainer(model, lr=1e-3, weight_decay=config.weight_decay,
-                      batch_size=4, seed=0)
-    result = trainer.fit(windows, epochs=5, train_limit=40, patience=3, verbose=True)
-    print(f"best validation MAE: {result.best_val_mae:.4f} (epoch {result.best_epoch})")
+    forecaster.fit(dataset, verbose=True)
+    print(f"ST-HSL parameters: {forecaster.model.num_parameters():,}")
+    training = forecaster.training_
+    print(f"best validation MAE: {training['best_val_mae']:.4f} "
+          f"(epoch {training['best_epoch']})")
 
     # 3. Test-set evaluation, reported the way the paper's Table III is.
-    evaluation = evaluate_model(model, windows)
+    evaluation = forecaster.evaluate(dataset)
     print("\ntest-set performance (masked metrics, case counts):")
     for category, metrics in evaluation.per_category().items():
         print(f"  {category:10s} MAE={metrics['mae']:.4f}  MAPE={metrics['mape']:.4f}")
 
-    # 4. Checkpointing.
+    # 4. Checkpointing: the artifact carries model name, build config and
+    #    normalization stats, so load needs no flags — and prediction
+    #    works directly on raw count histories.
     path = Path("sthsl_quickstart.npz")
-    nn.save_module(model, path)
-    clone = STHSL(config, seed=123)
-    nn.load_module(clone, path)
-    sample = next(windows.samples("test"))
-    assert (model.predict(sample.window) == clone.predict(sample.window)).all()
-    print(f"\ncheckpoint round-trip OK -> {path}")
+    forecaster.save(path)
+    clone = Forecaster.load(path)
+    history = dataset.tensor[:, -15:-1, :]  # last 14 days of raw counts
+    assert (forecaster.predict(history) == clone.predict(history)).all()
+    print(f"\nartifact round-trip OK -> {path}")
     path.unlink()
 
 

@@ -20,7 +20,7 @@ from repro.analysis import (
     paired_comparison,
     train_and_evaluate,
 )
-from repro.baselines import build_baseline
+from repro.api import REGISTRY
 from repro.data import load_city
 
 
@@ -32,7 +32,7 @@ def main() -> None:
     eval_sthsl = train_and_evaluate(sthsl, dataset, budget).evaluation
     print(f"ST-HSL  overall MAE={eval_sthsl.overall()['mae']:.4f}")
 
-    baseline = build_baseline("STSHN", dataset, window=budget.window, hidden=8, seed=0)
+    baseline = REGISTRY.build("STSHN", dataset=dataset, window=budget.window, hidden=8, seed=0)
     eval_base = train_and_evaluate(baseline, dataset, budget).evaluation
     print(f"STSHN   overall MAE={eval_base.overall()['mae']:.4f}")
 

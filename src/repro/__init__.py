@@ -3,6 +3,8 @@ for Crime Prediction (Li, Huang, Xia, Xu, Pei — ICDE 2022).
 
 Public entry points:
 
+* :mod:`repro.api` — the unified public surface: model registry,
+  ``Forecaster`` estimator, versioned checkpoint artifacts, run specs.
 * :mod:`repro.nn` — numpy autograd / neural-network substrate.
 * :mod:`repro.data` — crime-data pipeline (synthetic generators calibrated
   to the paper's NYC and Chicago datasets, grid segmentation,
@@ -13,6 +15,6 @@ Public entry points:
 * :mod:`repro.analysis` — ablations, sweeps, interpretation, efficiency.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["nn", "data", "core", "baselines", "training", "analysis"]
+__all__ = ["api", "nn", "data", "core", "baselines", "training", "analysis"]

@@ -6,6 +6,7 @@ from .experiment import (
     ExperimentBudget,
     default_config,
     make_sthsl,
+    run,
     train_and_evaluate,
 )
 from .hyperparams import SWEEPS, run_hyperparameter_study, sweep_parameter
@@ -28,6 +29,7 @@ from .visualization import ascii_heatmap, format_density_histogram, format_table
 __all__ = [
     "ExperimentBudget",
     "train_and_evaluate",
+    "run",
     "make_sthsl",
     "default_config",
     "MULTIVIEW_VARIANTS",

@@ -8,10 +8,10 @@ expensive) is the reproducible claim.
 
 from __future__ import annotations
 
-from ..baselines import build_baseline
+from ..api import REGISTRY
 from ..data.datasets import CrimeDataset
 from ..training import Trainer, WindowDataset
-from .experiment import ExperimentBudget, make_sthsl
+from .experiment import ExperimentBudget
 
 __all__ = ["time_epoch", "run_efficiency_study", "EFFICIENCY_MODELS"]
 
@@ -52,9 +52,8 @@ def run_efficiency_study(
     """Per-epoch seconds per model — the Table V column for one city."""
     results: dict[str, float] = {}
     for name in models:
-        if name == "ST-HSL":
-            model = make_sthsl(dataset, budget)
-        else:
-            model = build_baseline(name, dataset, window=budget.window, hidden=hidden, seed=budget.seed)
+        model = REGISTRY.build(
+            name, dataset=dataset, window=budget.window, hidden=hidden, seed=budget.seed
+        )
         results[name] = time_epoch(model, dataset, budget)
     return results

@@ -2,32 +2,29 @@
 
 All benchmark tables/figures route through :func:`train_and_evaluate`, so
 every compared model gets the identical optimiser, epoch count and data
-budget (the fairness requirement of paper §IV-A).
+budget (the fairness requirement of paper §IV-A).  Model construction and
+budget description live in :mod:`repro.api`; :func:`run` executes a
+serializable :class:`~repro.api.RunSpec` end to end through the same
+path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..api import REGISTRY, ExperimentBudget, RunSpec
 from ..core import STHSL, STHSLConfig
 from ..data.datasets import CrimeDataset
 from ..training import EvaluationResult, Trainer, WindowDataset, evaluate_model
 
-__all__ = ["ExperimentBudget", "train_and_evaluate", "make_sthsl", "default_config"]
-
-
-@dataclass(frozen=True)
-class ExperimentBudget:
-    """Training budget shared by every model in a comparison."""
-
-    window: int = 14
-    epochs: int = 4
-    train_limit: int | None = 40  # windows per epoch (reduced-scale protocol)
-    batch_size: int = 4
-    lr: float = 1e-3
-    weight_decay: float = 1e-5
-    patience: int | None = None
-    seed: int = 0
+__all__ = [
+    "ExperimentBudget",
+    "ExperimentRun",
+    "train_and_evaluate",
+    "run",
+    "make_sthsl",
+    "default_config",
+]
 
 
 def default_config(dataset: CrimeDataset, budget: ExperimentBudget, **overrides) -> STHSLConfig:
@@ -94,3 +91,24 @@ def train_and_evaluate(
         best_val = result.best_val_mae
     evaluation = evaluate_model(model, windows, split=split)
     return ExperimentRun(evaluation=evaluation, epoch_seconds=epoch_seconds, best_val_mae=best_val)
+
+
+def run(spec: RunSpec, dataset: CrimeDataset | None = None, split: str = "test") -> ExperimentRun:
+    """Execute a serializable :class:`~repro.api.RunSpec` end to end.
+
+    ``dataset`` short-circuits the data load when the caller already holds
+    the spec's dataset (the comparison loop reuses one dataset across
+    every model).  The model is resolved through the registry, so any
+    registered name — ST-HSL included — runs under the identical protocol.
+    """
+    if dataset is None:
+        dataset = spec.data.load()
+    model = REGISTRY.build(
+        spec.model,
+        dataset=dataset,
+        window=spec.budget.window,
+        hidden=spec.hidden,
+        seed=spec.budget.seed,
+        **spec.overrides,
+    )
+    return train_and_evaluate(model, dataset, spec.budget, split=split)

@@ -1,0 +1,134 @@
+"""Versioned checkpoint artifacts: self-describing model snapshots.
+
+An artifact is one compressed npz file holding the model's weight arrays
+plus an embedded JSON manifest (see :data:`repro.nn.MANIFEST_KEY`).  The
+manifest carries everything needed to reconstruct a working forecaster
+from the file alone — no CLI flags to match:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.artifact/v1",
+      "model": "ST-HSL",
+      "build": {"window": 14, "hidden": 8, "seed": 0, "overrides": {}},
+      "geometry": {"rows": 8, "cols": 8, "num_categories": 4},
+      "normalization": {"mu": 0.31, "sigma": 0.74},
+      "categories": ["Burglary", "Larceny", "Robbery", "Assault"],
+      "budget": {"window": 14, "epochs": 5, "...": "..."},
+      "training": {"epochs_run": 5, "best_epoch": 3, "best_val_mae": 0.61},
+      "repro_version": "1.0.0"
+    }
+
+``schema`` is the versioned contract: loaders reject manifests whose
+schema they do not understand instead of mis-reconstructing a model, and
+future format revisions bump the version and add migration paths here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__, nn
+
+__all__ = ["ARTIFACT_SCHEMA", "Artifact", "ArtifactError", "read_artifact", "write_artifact"]
+
+ARTIFACT_SCHEMA = "repro.artifact/v1"
+
+_REQUIRED_KEYS = ("schema", "model", "build", "geometry", "normalization", "categories")
+
+
+class ArtifactError(ValueError):
+    """A checkpoint file is not a readable artifact of this schema."""
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A validated (manifest, weights) pair read from disk."""
+
+    manifest: dict
+    state: dict[str, np.ndarray]
+
+    @property
+    def model_name(self) -> str:
+        return self.manifest["model"]
+
+    @property
+    def build(self) -> dict:
+        return self.manifest["build"]
+
+    @property
+    def geometry(self) -> dict:
+        return self.manifest["geometry"]
+
+    @property
+    def normalization(self) -> dict:
+        return self.manifest["normalization"]
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return tuple(self.manifest["categories"])
+
+    @property
+    def training(self) -> dict:
+        return self.manifest.get("training", {})
+
+
+def validate_manifest(manifest: dict | None) -> dict:
+    """Check a manifest against the v1 contract; raise :class:`ArtifactError`."""
+    if manifest is None:
+        raise ArtifactError(
+            "file has no manifest — it looks like a bare state-dict checkpoint "
+            "(nn.save_module); re-save it through Forecaster.save to get a "
+            "self-describing artifact"
+        )
+    schema = manifest.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ArtifactError(
+            f"unsupported artifact schema {schema!r}; this build reads {ARTIFACT_SCHEMA!r}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise ArtifactError(f"artifact manifest is missing required keys: {missing}")
+    return manifest
+
+
+def write_artifact(
+    path: str | Path,
+    *,
+    state: dict[str, np.ndarray],
+    model_name: str,
+    build: dict,
+    geometry: dict,
+    normalization: dict,
+    categories: tuple[str, ...],
+    budget: dict | None = None,
+    training: dict | None = None,
+) -> dict:
+    """Assemble a v1 manifest around ``state`` and write the artifact.
+
+    Returns the manifest that was written (handy for logging/tests).
+    """
+    manifest = {
+        "schema": ARTIFACT_SCHEMA,
+        "model": model_name,
+        "build": build,
+        "geometry": geometry,
+        "normalization": normalization,
+        "categories": list(categories),
+        "budget": budget or {},
+        "training": training or {},
+        "repro_version": __version__,
+    }
+    validate_manifest(manifest)
+    nn.save_archive(path, state, manifest)
+    return manifest
+
+
+def read_artifact(path: str | Path) -> Artifact:
+    """Load and validate an artifact; raises :class:`ArtifactError` on
+    missing manifests, unknown schema versions, or truncated manifests."""
+    manifest, state = nn.load_archive(path)
+    return Artifact(manifest=validate_manifest(manifest), state=state)

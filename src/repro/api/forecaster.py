@@ -1,0 +1,254 @@
+"""The :class:`Forecaster` estimator façade: fit / predict / save / load.
+
+One object wraps model construction (via the registry), training (via
+:class:`~repro.training.Trainer` under an :class:`ExperimentBudget`),
+normalization bookkeeping, evaluation, and versioned checkpoint
+artifacts.  The estimator works in *case counts* end to end: ``fit``
+learns the z-score statistics from its dataset, ``predict`` takes a raw
+count history and returns expected counts, and ``save`` persists the
+statistics alongside the weights so a loaded forecaster reproduces
+predictions exactly with no external configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..data.datasets import CrimeDataset
+from ..training import Trainer, WindowDataset
+from ..training.evaluation import EvaluationResult
+from .artifacts import read_artifact, write_artifact
+from .registry import REGISTRY, ModelGeometry, ModelRegistry
+from .runspec import ExperimentBudget
+
+__all__ = ["Forecaster"]
+
+
+class Forecaster:
+    """Estimator for next-day crime prediction with any registered model.
+
+    Usage::
+
+        fc = Forecaster("ST-HSL", budget=ExperimentBudget(epochs=5))
+        fc.fit(dataset)
+        counts = fc.predict(history)        # raw (R, W, C) counts in, (R, C) out
+        result = fc.evaluate(dataset)       # masked MAE/MAPE on the test split
+        fc.save("model.npz")                # self-describing artifact
+        fc2 = Forecaster.load("model.npz")  # no flags needed
+    """
+
+    def __init__(
+        self,
+        model: str = "ST-HSL",
+        *,
+        budget: ExperimentBudget | None = None,
+        hidden: int = 8,
+        overrides: dict | None = None,
+        registry: ModelRegistry = REGISTRY,
+    ):
+        self.registry = registry
+        self.spec = registry.spec(model)  # fail fast on unknown names
+        self.budget = budget if budget is not None else ExperimentBudget()
+        self.hidden = hidden
+        self.overrides = dict(overrides or {})
+        self.model = None
+        self.geometry: ModelGeometry | None = None
+        self.mu: float | None = None
+        self.sigma: float | None = None
+        self.categories: tuple[str, ...] = ()
+        self.training_: dict = {}
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def model_name(self) -> str:
+        return self.spec.name
+
+    @property
+    def window(self) -> int:
+        return self.budget.window
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model is not None and self.mu is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(
+                f"Forecaster({self.model_name!r}) is not fitted; call fit() or load()"
+            )
+
+    # ------------------------------------------------------------------
+    # Estimator API
+    # ------------------------------------------------------------------
+    def fit(self, dataset: CrimeDataset, verbose: bool = False) -> "Forecaster":
+        """Build the model for ``dataset``'s geometry and train it.
+
+        Models whose spec says ``requires_training=False`` (statistical
+        methods) skip the gradient loop entirely; everything else trains
+        with Adam under the forecaster's budget.  Refitting on a dataset
+        with a different geometry rebuilds the model from scratch.
+        """
+        geometry = ModelGeometry.of(dataset)
+        if self.model is None or geometry != self.geometry:
+            self.geometry = geometry
+            self.model = self.spec.build(
+                geometry,
+                window=self.budget.window,
+                hidden=self.hidden,
+                seed=self.budget.seed,
+                **self.overrides,
+            )
+        self.mu = float(dataset.mu)
+        self.sigma = float(dataset.sigma)
+        self.categories = dataset.categories
+        self.training_ = {"epochs_run": 0, "best_epoch": None, "best_val_mae": None}
+        if self.spec.requires_training:
+            windows = WindowDataset(dataset, window=self.budget.window)
+            trainer = Trainer(
+                self.model,
+                lr=self.budget.lr,
+                weight_decay=self.budget.weight_decay,
+                batch_size=self.budget.batch_size,
+                seed=self.budget.seed,
+            )
+            result = trainer.fit(
+                windows,
+                epochs=self.budget.epochs,
+                patience=self.budget.patience,
+                train_limit=self.budget.train_limit,
+                verbose=verbose,
+            )
+            self.training_ = {
+                "epochs_run": len(result.history),
+                "best_epoch": result.best_epoch,
+                "best_val_mae": float(result.best_val_mae),
+            }
+        return self
+
+    def predict(self, window: np.ndarray) -> np.ndarray:
+        """Expected next-day counts from a raw count history.
+
+        ``window`` is ``(R, W, C)`` — or a stacked ``(B, R, W, C)`` batch,
+        which takes the model's vectorized path when its spec supports
+        batching.  Normalization uses the statistics learned at fit time
+        (or restored from the artifact), and the output is denormalized
+        back to counts, floored at zero.
+        """
+        self._require_fitted()
+        window = np.asarray(window, dtype=float)
+        if window.ndim not in (3, 4):
+            raise ValueError(f"expected a (R, W, C) window or (B, R, W, C) batch, got {window.shape}")
+        normalized = (window - self.mu) / self.sigma
+        if window.ndim == 4:
+            if self.spec.supports_batching and hasattr(self.model, "predict_batch"):
+                out = self.model.predict_batch(normalized)
+            else:
+                out = np.stack([self.model.predict(sample) for sample in normalized])
+        else:
+            out = self.model.predict(normalized)
+        return np.maximum(out * self.sigma + self.mu, 0.0)
+
+    def evaluate(self, dataset: CrimeDataset, split: str = "test") -> EvaluationResult:
+        """Masked MAE/MAPE of the fitted model over one split of ``dataset``.
+
+        Predictions go through :meth:`predict`, so inputs are normalized
+        with the forecaster's *own* statistics (learned at fit time or
+        restored from the artifact) — evaluating a loaded artifact on a
+        rebuilt dataset never silently rescales the model's inputs with
+        that dataset's statistics.  On the fit dataset itself the two
+        coincide exactly.
+        """
+        self._require_fitted()
+        self.check_compatible(dataset)
+        windows = WindowDataset(dataset, window=self.budget.window)
+        days = [sample.day for sample in windows.samples(split)]
+        if not days:
+            raise ValueError(f"split {split!r} has no samples")
+        predictions = []
+        for start in range(0, len(days), 32):  # bound batch memory
+            batch = np.stack(
+                [dataset.tensor[:, day - self.window : day, :] for day in days[start : start + 32]]
+            )
+            predictions.append(self.predict(batch))
+        targets = np.stack([dataset.tensor[:, day, :] for day in days])
+        return EvaluationResult(
+            predictions=np.concatenate(predictions),
+            targets=targets,
+            categories=dataset.categories,
+        )
+
+    def check_compatible(self, dataset: CrimeDataset) -> None:
+        """Fail fast (with a fix hint) when ``dataset``'s geometry does not
+        match the model's — instead of an opaque shape error mid-forward."""
+        self._require_fitted()
+        geometry = ModelGeometry.of(dataset)
+        if geometry != self.geometry:
+            raise ValueError(
+                f"dataset geometry {geometry.rows}x{geometry.cols} "
+                f"({geometry.num_categories} categories) does not match the "
+                f"{self.model_name} model's geometry {self.geometry.rows}x"
+                f"{self.geometry.cols} ({self.geometry.num_categories} categories); "
+                "regenerate the dataset with the artifact's --rows/--cols"
+            )
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> dict:
+        """Write a versioned artifact; returns the manifest written."""
+        self._require_fitted()
+        return write_artifact(
+            path,
+            state=self.model.state_dict(),
+            model_name=self.model_name,
+            build={
+                "window": self.budget.window,
+                "hidden": self.hidden,
+                "seed": self.budget.seed,
+                "overrides": dict(self.overrides),
+            },
+            geometry=self.geometry.to_dict(),
+            normalization={"mu": self.mu, "sigma": self.sigma},
+            categories=self.categories,
+            budget=self.budget.to_dict(),
+            training=self.training_,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path, registry: ModelRegistry = REGISTRY) -> "Forecaster":
+        """Reconstruct a working forecaster from an artifact alone.
+
+        The manifest supplies the model name, build configuration,
+        geometry and normalization statistics; the npz payload supplies
+        the weights.  Raises :class:`~repro.api.ArtifactError` on bare
+        state-dict files or unknown schema versions.
+        """
+        artifact = read_artifact(path)
+        build = artifact.build
+        budget_payload = artifact.manifest.get("budget") or {"window": int(build["window"])}
+        forecaster = cls(
+            artifact.model_name,
+            budget=ExperimentBudget.from_dict(budget_payload),
+            hidden=int(build.get("hidden", 8)),
+            overrides=dict(build.get("overrides", {})),
+            registry=registry,
+        )
+        geometry = ModelGeometry.from_dict(artifact.geometry)
+        forecaster.geometry = geometry
+        forecaster.model = forecaster.spec.build(
+            geometry,
+            window=int(build["window"]),
+            hidden=forecaster.hidden,
+            seed=int(build.get("seed", 0)),
+            **forecaster.overrides,
+        )
+        forecaster.model.load_state_dict(artifact.state)
+        forecaster.mu = float(artifact.normalization["mu"])
+        forecaster.sigma = float(artifact.normalization["sigma"])
+        forecaster.categories = artifact.categories
+        forecaster.training_ = dict(artifact.training)
+        return forecaster

@@ -1,0 +1,119 @@
+"""Serializable run descriptions: data + model + budget as plain data.
+
+A :class:`RunSpec` fully describes one training run — which dataset to
+load (:class:`DataSpec`), which registered model to build, and under what
+:class:`ExperimentBudget` to train it.  Specs round-trip through
+``to_dict``/``from_dict`` (JSON-safe types only), so runs can be stored
+beside results, shipped to workers, or reconstructed from a checkpoint
+manifest.  The CLI, the benchmark harness and the examples all describe
+their work as specs and execute them through the same code path
+(:meth:`RunSpec.forecaster` / :func:`repro.analysis.experiment.run`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+from ..data.datasets import CrimeDataset, load_city
+
+__all__ = ["ExperimentBudget", "DataSpec", "RunSpec"]
+
+
+@dataclass(frozen=True)
+class ExperimentBudget:
+    """Training budget shared by every model in a comparison."""
+
+    window: int = 14
+    epochs: int = 4
+    train_limit: int | None = 40  # windows per epoch (reduced-scale protocol)
+    batch_size: int = 4
+    lr: float = 1e-3
+    weight_decay: float = 1e-5
+    patience: int | None = None
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentBudget":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Which dataset to load: a city config plus optional scale overrides."""
+
+    city: str = "nyc"
+    rows: int | None = None
+    cols: int | None = None
+    num_days: int | None = None
+    seed: int = 0
+
+    def load(self) -> CrimeDataset:
+        return load_city(
+            self.city, rows=self.rows, cols=self.cols, num_days=self.num_days, seed=self.seed
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DataSpec":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment: data + model + budget, all JSON-serializable.
+
+    ``model`` is a registry name (see :data:`repro.api.REGISTRY`);
+    ``hidden`` is the capacity knob every builder understands (ST-HSL's
+    embedding dim, the baselines' hidden width); ``overrides`` are extra
+    builder kwargs (e.g. ``num_hyperedges`` for ST-HSL).
+    """
+
+    model: str = "ST-HSL"
+    data: DataSpec = field(default_factory=DataSpec)
+    budget: ExperimentBudget = field(default_factory=ExperimentBudget)
+    hidden: int = 8
+    overrides: dict = field(default_factory=dict)
+
+    def with_model(self, model: str, hidden: int | None = None, **overrides) -> "RunSpec":
+        """Same data and budget, different model — the comparison idiom."""
+        return replace(
+            self,
+            model=model,
+            hidden=self.hidden if hidden is None else hidden,
+            overrides=overrides,
+        )
+
+    def forecaster(self):
+        """An unfitted :class:`~repro.api.Forecaster` realising this spec."""
+        from .forecaster import Forecaster
+
+        return Forecaster(
+            self.model, budget=self.budget, hidden=self.hidden, overrides=self.overrides
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "data": self.data.to_dict(),
+            "budget": self.budget.to_dict(),
+            "hidden": self.hidden,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSpec":
+        return cls(
+            model=payload.get("model", "ST-HSL"),
+            data=DataSpec.from_dict(payload.get("data", {})),
+            budget=ExperimentBudget.from_dict(payload.get("budget", {})),
+            hidden=int(payload.get("hidden", 8)),
+            overrides=dict(payload.get("overrides", {})),
+        )

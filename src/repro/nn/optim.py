@@ -18,12 +18,16 @@ __all__ = ["SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]
 
 
 class Optimizer:
-    """Base class holding the parameter list and zero_grad."""
+    """Base class holding the parameter list and zero_grad.
+
+    An empty parameter list is allowed — ``step``/``zero_grad`` become
+    no-ops — so parameterless models (the statistical baselines, which
+    fit at prediction time) flow through the shared trainer without
+    dummy-parameter workarounds.
+    """
 
     def __init__(self, params: Iterable[Parameter]):
         self.params = [p for p in params]
-        if not self.params:
-            raise ValueError("optimizer got an empty parameter list")
 
     def zero_grad(self) -> None:
         for p in self.params:

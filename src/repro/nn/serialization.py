@@ -1,14 +1,38 @@
-"""Model checkpointing: save/load state dicts as compressed npz archives."""
+"""Model checkpointing: save/load state dicts as compressed npz archives.
+
+Two layers live here:
+
+* the bare state-dict round-trip (``save_module``/``load_module``), where
+  the architecture is reconstructed by code and the caller must re-supply
+  the exact construction flags; and
+* manifest-carrying archives (``save_archive``/``load_archive``): the same
+  npz plus an embedded JSON document describing the payload.  The schema
+  of that manifest is owned by :mod:`repro.api.artifacts` — this module
+  only knows how to embed and extract it.
+"""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_module"]
+__all__ = [
+    "MANIFEST_KEY",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+    "save_archive",
+    "load_archive",
+]
+
+#: npz entry holding the JSON manifest.  Parameter names are dotted
+#: attribute paths, so the dunder key can never collide with one.
+MANIFEST_KEY = "__manifest__"
 
 
 def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
@@ -18,7 +42,7 @@ def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
 
 def load_state(path: str | Path) -> dict[str, np.ndarray]:
     with np.load(str(path)) as archive:
-        return {key: archive[key] for key in archive.files}
+        return {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
 
 
 def save_module(module: Module, path: str | Path) -> None:
@@ -30,3 +54,30 @@ def load_module(module: Module, path: str | Path) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``."""
     module.load_state_dict(load_state(path))
     return module
+
+
+def save_archive(path: str | Path, state: dict[str, np.ndarray], manifest: dict) -> None:
+    """Persist ``state`` plus a JSON ``manifest`` as one npz archive.
+
+    The manifest is stored under :data:`MANIFEST_KEY` as a JSON string;
+    floats survive exactly (``json`` serialises via ``repr``, which
+    round-trips IEEE doubles bit-for-bit).
+    """
+    payload = {MANIFEST_KEY: np.asarray(json.dumps(manifest))}
+    payload.update(state)
+    np.savez_compressed(str(path), **payload)
+
+
+def load_archive(path: str | Path) -> tuple[dict | None, dict[str, np.ndarray]]:
+    """Read an npz archive back as ``(manifest, state)``.
+
+    ``manifest`` is ``None`` for plain :func:`save_state` archives, which
+    lets callers distinguish self-describing artifacts from bare state
+    dicts and report a useful error.
+    """
+    with np.load(str(path)) as archive:
+        manifest = None
+        if MANIFEST_KEY in archive.files:
+            manifest = json.loads(str(archive[MANIFEST_KEY]))
+        state = {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
+    return manifest, state

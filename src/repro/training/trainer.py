@@ -73,6 +73,9 @@ class Trainer:
     ):
         self.model = model
         self.optimizer = nn.Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+        # Parameterless models (statistical baselines) skip the optimizer
+        # step entirely; their losses are constants with no graph to walk.
+        self._has_params = bool(self.optimizer.params)
         self.clip_norm = clip_norm
         self.batch_size = batch_size
         if use_batched is None:
@@ -144,15 +147,17 @@ class Trainer:
         self.optimizer.zero_grad()
         for batch in windows.train_batches(self._rng, self.batch_size, limit=train_limit):
             loss = self.model.training_loss_batch(batch.windows, batch.targets)
-            loss.backward()
+            if loss.requires_grad:
+                loss.backward()
             total += float(loss.data) * batch.size
             count += batch.size
             # The batched loss is already a mean over the batch, so the
             # gradients match the per-sample path's accumulate-and-average.
-            if self.clip_norm:
-                nn.clip_grad_norm(self.optimizer.params, self.clip_norm)
-            self.optimizer.step()
-            self.optimizer.zero_grad()
+            if self._has_params:
+                if self.clip_norm:
+                    nn.clip_grad_norm(self.optimizer.params, self.clip_norm)
+                self.optimizer.step()
+                self.optimizer.zero_grad()
         return total / count if count else float("nan")
 
     def _train_epoch_sequential(self, windows: WindowDataset, train_limit: int | None) -> float:
@@ -162,7 +167,9 @@ class Trainer:
         self.optimizer.zero_grad()
         for sample in windows.shuffled_train(self._rng, limit=train_limit):
             loss = self.model.training_loss(sample.window, sample.target)
-            loss.backward()
+            # Parameterless models return a constant loss with no graph.
+            if loss.requires_grad:
+                loss.backward()
             losses.append(float(loss.data))
             pending += 1
             if pending == self.batch_size:
@@ -173,6 +180,8 @@ class Trainer:
         return float(np.mean(losses)) if losses else float("nan")
 
     def _apply_step(self, accumulated: int) -> None:
+        if not self._has_params:
+            return
         # Average accumulated gradients so the step size is batch-invariant.
         for param in self.optimizer.params:
             if param.grad is not None:

@@ -1,0 +1,193 @@
+"""Forecaster estimator + versioned artifact round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.api import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    DataSpec,
+    ExperimentBudget,
+    Forecaster,
+    RunSpec,
+    read_artifact,
+)
+
+BUDGET = ExperimentBudget(window=8, epochs=1, train_limit=4, seed=0)
+DATASET = DataSpec(city="nyc", rows=4, cols=4, num_days=60, seed=0).load()
+
+
+def _fitted(model="ST-HSL", **kwargs):
+    return Forecaster(model, budget=BUDGET, hidden=6, **kwargs).fit(DATASET)
+
+
+def _tamper(path, out, **manifest_changes):
+    """Rewrite an artifact with a modified manifest."""
+    manifest, state = nn.load_archive(path)
+    manifest.update(manifest_changes)
+    manifest = {k: v for k, v in manifest.items() if v is not None}
+    nn.save_archive(out, state, manifest)
+
+
+class TestRoundTrip:
+    def test_predictions_bitwise_identical_after_reload(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        forecaster.save(path)
+        clone = Forecaster.load(path)
+        history = DATASET.tensor[:, 20:28, :]  # raw counts
+        original = forecaster.predict(history)
+        reloaded = clone.predict(history)
+        assert (original == reloaded).all()
+
+    def test_manifest_carries_config_and_stats(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        manifest = forecaster.save(path)
+        assert manifest["schema"] == ARTIFACT_SCHEMA
+        assert manifest["model"] == "ST-HSL"
+        assert manifest["geometry"] == {"rows": 4, "cols": 4, "num_categories": 4}
+        assert manifest["normalization"]["mu"] == DATASET.mu
+        assert manifest["normalization"]["sigma"] == DATASET.sigma
+        assert manifest["build"]["hidden"] == 6
+        assert manifest["training"]["epochs_run"] == 1
+        artifact = read_artifact(path)
+        assert artifact.model_name == "ST-HSL"
+        assert set(artifact.state) == set(forecaster.model.state_dict())
+
+    def test_loaded_forecaster_restores_budget_and_categories(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        forecaster.save(path)
+        clone = Forecaster.load(path)
+        assert clone.budget == BUDGET
+        assert clone.categories == DATASET.categories
+        assert clone.window == BUDGET.window
+
+    def test_baseline_artifact_round_trips(self, tmp_path):
+        forecaster = _fitted("STGCN")
+        path = tmp_path / "stgcn.npz"
+        forecaster.save(path)
+        clone = Forecaster.load(path)
+        assert clone.model_name == "STGCN"
+        history = DATASET.tensor[:, 30:38, :]
+        assert (forecaster.predict(history) == clone.predict(history)).all()
+
+    def test_parameterless_model_round_trips(self, tmp_path):
+        forecaster = _fitted("HA")
+        path = tmp_path / "ha.npz"
+        forecaster.save(path)
+        clone = Forecaster.load(path)
+        history = DATASET.tensor[:, 10:18, :]
+        assert (forecaster.predict(history) == clone.predict(history)).all()
+
+
+class TestRejection:
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        forecaster.save(path)
+        bad = tmp_path / "bad.npz"
+        _tamper(path, bad, schema="repro.artifact/v999")
+        with pytest.raises(ArtifactError, match="unsupported artifact schema"):
+            Forecaster.load(bad)
+
+    def test_missing_schema_rejected(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        forecaster.save(path)
+        bad = tmp_path / "bad.npz"
+        _tamper(path, bad, schema=None)
+        with pytest.raises(ArtifactError):
+            Forecaster.load(bad)
+
+    def test_bare_state_dict_rejected_with_hint(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "legacy.npz"
+        nn.save_module(forecaster.model, path)  # old-style checkpoint
+        with pytest.raises(ArtifactError, match="no manifest"):
+            Forecaster.load(path)
+
+    def test_truncated_manifest_rejected(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        forecaster.save(path)
+        bad = tmp_path / "bad.npz"
+        _tamper(path, bad, geometry=None)
+        with pytest.raises(ArtifactError, match="missing required keys"):
+            Forecaster.load(bad)
+
+
+class TestEstimator:
+    def test_unfitted_forecaster_refuses_predict_and_save(self, tmp_path):
+        forecaster = Forecaster("ST-HSL", budget=BUDGET)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            forecaster.predict(DATASET.tensor[:, :8, :])
+        with pytest.raises(RuntimeError, match="not fitted"):
+            forecaster.save(tmp_path / "x.npz")
+
+    def test_unknown_model_fails_fast(self):
+        with pytest.raises(KeyError):
+            Forecaster("NotAModel")
+
+    def test_batched_predict_matches_per_sample(self):
+        forecaster = _fitted()
+        batch = np.stack([DATASET.tensor[:, t : t + 8, :] for t in (10, 20, 30)])
+        stacked = forecaster.predict(batch)
+        singles = np.stack([forecaster.predict(w) for w in batch])
+        assert np.allclose(stacked, singles)
+
+    def test_statistical_fit_skips_gradient_loop(self):
+        forecaster = _fitted("ARIMA")
+        assert forecaster.training_["epochs_run"] == 0
+        assert forecaster.evaluate(DATASET).overall()["mae"] > 0
+
+    def test_evaluate_rejects_mismatched_geometry(self, tmp_path):
+        forecaster = _fitted()
+        other = DataSpec(city="nyc", rows=5, cols=5, num_days=60, seed=0).load()
+        with pytest.raises(ValueError, match="does not match"):
+            forecaster.evaluate(other)
+        path = tmp_path / "model.npz"
+        forecaster.save(path)
+        with pytest.raises(ValueError, match="does not match"):
+            Forecaster.load(path).evaluate(other)
+
+    def test_evaluate_uses_stored_normalization(self):
+        """evaluate routes through predict, so a loaded artifact's stored
+        mu/sigma govern input scaling — consistent with predict() — and on
+        the fit dataset the classic evaluation protocol is reproduced."""
+        from repro.training import WindowDataset, evaluate_model
+
+        forecaster = _fitted()
+        ours = forecaster.evaluate(DATASET)
+        classic = evaluate_model(forecaster.model, WindowDataset(DATASET, BUDGET.window))
+        assert np.allclose(ours.predictions, classic.predictions)
+        assert np.array_equal(ours.targets, classic.targets)
+
+
+class TestRunSpec:
+    def test_json_round_trip(self):
+        spec = RunSpec(
+            model="ST-HSL",
+            data=DataSpec(city="chicago", rows=5, cols=5, num_days=80, seed=3),
+            budget=ExperimentBudget(window=9, epochs=2, train_limit=6, patience=1, seed=3),
+            hidden=4,
+            overrides={"num_hyperedges": 16},
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert RunSpec.from_dict(payload) == spec
+
+    def test_with_model_keeps_data_and_budget(self):
+        base = RunSpec(data=DataSpec(rows=4, cols=4, num_days=60), budget=BUDGET)
+        other = base.with_model("STGCN")
+        assert other.model == "STGCN"
+        assert other.data == base.data and other.budget == base.budget
+
+    def test_forecaster_realises_spec(self):
+        spec = RunSpec(model="STGCN", budget=BUDGET, hidden=6)
+        forecaster = spec.forecaster()
+        assert forecaster.model_name == "STGCN"
+        assert forecaster.budget == BUDGET

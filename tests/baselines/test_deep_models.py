@@ -5,13 +5,18 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.api import REGISTRY
+from repro.baselines import BASELINE_NAMES
 from repro.data import load_city
 from repro.nn import Tensor
 
 DATASET = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
 WINDOW = 14
 DEEP_NAMES = [n for n in BASELINE_NAMES if n not in ("ARIMA",)]
+
+
+def build_baseline(name, dataset, window, hidden=16, seed=0):
+    return REGISTRY.build(name, dataset=dataset, window=window, hidden=hidden, seed=seed)
 
 
 def _sample(seed=0):
@@ -125,3 +130,54 @@ class TestSignatureMechanisms:
         scores = model.attn_proj(states).tanh() @ model.attn_vector
         weights = F.softmax(scores, axis=1)
         assert np.allclose(weights.data.sum(axis=1), 1.0)
+
+
+class TestSTGCNBatched:
+    """STGCN implements the batched duck type (training_loss_batch /
+    predict_batch), putting it on the trainer's vectorized path."""
+
+    def _model(self, seed=0):
+        return build_baseline("STGCN", DATASET, window=WINDOW, hidden=8, seed=seed)
+
+    def test_predict_batch_matches_per_sample(self):
+        model = self._model()
+        rng = np.random.default_rng(3)
+        batch = rng.standard_normal((5, DATASET.num_regions, WINDOW, DATASET.num_categories))
+        stacked = model.predict_batch(batch)
+        singles = np.stack([model.predict(w) for w in batch])
+        assert stacked.shape == (5, 16, 4)
+        assert np.allclose(stacked, singles, atol=1e-12)
+
+    def test_batched_loss_is_mean_of_per_sample_losses(self):
+        model = self._model()
+        rng = np.random.default_rng(4)
+        windows = rng.standard_normal((3, DATASET.num_regions, WINDOW, DATASET.num_categories))
+        targets = rng.standard_normal((3, DATASET.num_regions, DATASET.num_categories))
+        model.eval()  # STGCN has no dropout, but keep the paths aligned
+        batched = float(model.training_loss_batch(windows, targets).data)
+        singles = [float(model.training_loss(w, t).data) for w, t in zip(windows, targets)]
+        assert batched == pytest.approx(np.mean(singles), rel=1e-12)
+
+    def test_batched_gradients_match_accumulated(self):
+        rng = np.random.default_rng(5)
+        windows = rng.standard_normal((4, DATASET.num_regions, WINDOW, DATASET.num_categories))
+        targets = rng.standard_normal((4, DATASET.num_regions, DATASET.num_categories))
+
+        batched = self._model()
+        loss = batched.training_loss_batch(windows, targets)
+        loss.backward()
+
+        sequential = self._model()
+        for w, t in zip(windows, targets):
+            sequential.training_loss(w, t).backward()
+
+        for (name, p_batched), (_, p_seq) in zip(
+            batched.named_parameters(), sequential.named_parameters()
+        ):
+            assert np.allclose(p_batched.grad, p_seq.grad / len(windows), atol=1e-10), name
+
+    def test_trainer_autodetects_batched_path(self):
+        from repro.training import Trainer
+
+        trainer = Trainer(self._model(), batch_size=4)
+        assert trainer.use_batched

@@ -4,12 +4,17 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.api import REGISTRY
+from repro.baselines import BASELINE_NAMES
 from repro.data import load_city
 
 DATASET = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
 WINDOW = 10
 TRAINABLE = [n for n in BASELINE_NAMES if n != "ARIMA"]
+
+
+def build_baseline(name, dataset, window, hidden=16, seed=0):
+    return REGISTRY.build(name, dataset=dataset, window=window, hidden=hidden, seed=seed)
 
 
 class TestZooSerialization:

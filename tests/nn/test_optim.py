@@ -51,9 +51,14 @@ class TestSGD:
         opt.step()  # no grad assigned; should not raise or move
         assert p.data[0] == 1.0
 
-    def test_empty_param_list_raises(self):
-        with pytest.raises(ValueError):
-            nn.SGD([], lr=0.1)
+    def test_empty_param_list_is_noop(self):
+        # Parameterless models (statistical baselines) share the trainer;
+        # construction, stepping and zeroing must all be tolerated.
+        for factory in (nn.SGD, nn.Adam):
+            opt = factory([], lr=0.1)
+            opt.zero_grad()
+            opt.step()
+            assert opt.params == []
 
 
 class TestAdam:

@@ -1,8 +1,15 @@
-"""CLI integration tests (argparse wiring and end-to-end subcommands)."""
+"""CLI integration tests (argparse wiring and end-to-end subcommands).
+
+The end-to-end class covers the versioned-artifact flow the CLI is built
+around: ``train --checkpoint`` writes a self-describing artifact and
+``evaluate``/``forecast --checkpoint`` reconstruct the model from the
+file alone — no model flags need to match the training invocation.
+"""
 
 import numpy as np
 import pytest
 
+from repro.api import REGISTRY, read_artifact
 from repro.cli import build_parser, main
 
 
@@ -24,8 +31,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--models", "NotAModel"])
 
+    def test_every_registered_name_accepted(self):
+        """Acceptance: ``compare``/``train`` accept any registry name."""
+        for name in REGISTRY.names():
+            args = build_parser().parse_args(["compare", "--models", name])
+            assert args.models == [name]
+            args = build_parser().parse_args(["train", "--model", name])
+            assert args.model == name
 
-SMALL = ["--rows", "4", "--cols", "4", "--days", "60", "--window", "8"]
+
+SMALL = ["--rows", "4", "--cols", "4", "--days", "60"]
 
 
 class TestEndToEnd:
@@ -37,19 +52,33 @@ class TestEndToEnd:
         header = out.read_text().splitlines()[0]
         assert header == "category,timestamp,longitude,latitude"
 
-    def test_train_evaluate_forecast_roundtrip(self, tmp_path, capsys):
+    def test_train_evaluate_forecast_artifact_flow(self, tmp_path, capsys):
+        """train --checkpoint → evaluate/forecast --checkpoint, end to end.
+
+        Training uses non-default model knobs (--window 8 --dim 6); the
+        evaluate/forecast invocations pass *no* model flags at all — the
+        artifact manifest alone reconstructs the model.
+        """
         ckpt = tmp_path / "model.npz"
         code = main(
-            ["train", *SMALL, "--epochs", "1", "--train-limit", "4", "--checkpoint", str(ckpt)]
+            ["train", *SMALL, "--window", "8", "--dim", "6", "--hyperedges", "16",
+             "--epochs", "1", "--train-limit", "4", "--checkpoint", str(ckpt)]
         )
         assert code == 0
         assert ckpt.exists()
         train_out = capsys.readouterr().out
         assert "best val MAE" in train_out
 
+        artifact = read_artifact(ckpt)
+        assert artifact.model_name == "ST-HSL"
+        assert artifact.build["window"] == 8
+        assert artifact.build["hidden"] == 6
+        assert artifact.build["overrides"]["num_hyperedges"] == 16
+
         code = main(["evaluate", *SMALL, "--checkpoint", str(ckpt)])
         assert code == 0
         eval_out = capsys.readouterr().out
+        assert "loaded ST-HSL artifact (window=8)" in eval_out
         assert "(overall)" in eval_out
 
         code = main(["forecast", *SMALL, "--checkpoint", str(ckpt), "--horizon", "3"])
@@ -57,10 +86,24 @@ class TestEndToEnd:
         forecast_out = capsys.readouterr().out
         assert "T+3" in forecast_out
 
+    def test_train_baseline_model_artifact(self, tmp_path, capsys):
+        """Any registered model trains and round-trips through the CLI."""
+        ckpt = tmp_path / "stgcn.npz"
+        code = main(
+            ["train", *SMALL, "--model", "STGCN", "--window", "8",
+             "--epochs", "1", "--train-limit", "4", "--checkpoint", str(ckpt)]
+        )
+        assert code == 0
+        assert read_artifact(ckpt).model_name == "STGCN"
+        code = main(["evaluate", *SMALL, "--checkpoint", str(ckpt)])
+        assert code == 0
+        assert "loaded STGCN artifact" in capsys.readouterr().out
+
     def test_compare_ranks_models(self, capsys):
         code = main(
-            ["compare", *SMALL, "--epochs", "1", "--train-limit", "4", "--models", "HA", "ARIMA"]
+            ["compare", *SMALL, "--window", "8", "--epochs", "1", "--train-limit", "4",
+             "--models", "HA", "ARIMA"]
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "ST-HSL" in out and "ARIMA" in out
+        assert "ST-HSL" in out and "ARIMA" in out and "HA" in out

@@ -9,7 +9,8 @@ import pytest
 
 from repro import nn
 from repro.analysis import ExperimentBudget, HyperedgeCaseStudy, train_and_evaluate
-from repro.baselines import HistoricalAverage, build_baseline
+from repro.api import REGISTRY
+from repro.baselines import HistoricalAverage
 from repro.core import STHSL, STHSLConfig
 from repro.data import (
     NYC_CONFIG,
@@ -88,7 +89,7 @@ class TestFullPipeline:
         dataset = load_city("chicago", rows=4, cols=4, num_days=60, seed=1)
         runs = []
         for _ in range(2):
-            model = build_baseline("STGCN", dataset, window=8, hidden=8, seed=7)
+            model = REGISTRY.build("STGCN", dataset=dataset, window=8, hidden=8, seed=7)
             run = train_and_evaluate(model, dataset, budget)
             runs.append(run.evaluation.overall()["mae"])
         assert runs[0] == pytest.approx(runs[1], rel=1e-12)
@@ -99,7 +100,7 @@ class TestFullPipeline:
         dataset = load_city("nyc", rows=4, cols=4, num_days=60, seed=0)
         ha = train_and_evaluate(HistoricalAverage(), dataset, budget)
         deep = train_and_evaluate(
-            build_baseline("DeepCrime", dataset, window=8, hidden=8, seed=0), dataset, budget
+            REGISTRY.build("DeepCrime", dataset=dataset, window=8, hidden=8, seed=0), dataset, budget
         )
         assert ha.evaluation.predictions.shape == deep.evaluation.predictions.shape
         assert set(ha.evaluation.per_category()) == set(deep.evaluation.per_category())
