@@ -1,10 +1,13 @@
-"""Tracked perf benchmark: batched-vs-sequential training throughput.
+"""Tracked perf benchmark: training and inference throughput.
 
-Measures windows/sec and epoch wall-clock for ST-HSL on the reduced-scale
-benchmark geometry (6x6 regions x 100 days, the DESIGN.md §5 protocol) at
-batch sizes {1, 4, 16}, plus the per-sample fallback path and the float32
-compute mode, and writes ``BENCH_perf.json`` at the repo root so future
-PRs have a perf trajectory to defend.
+Measures, on the reduced-scale benchmark geometry (6x6 regions x 100
+days, the DESIGN.md §5 protocol): training windows/sec and epoch
+wall-clock for ST-HSL at batch sizes {1, 4, 16} plus the per-sample
+fallback path and the float32 compute mode; and inference
+predictions/sec for the graph-building forward, the per-sample no-grad
+fast path, and the batched fast path under a reusable buffer arena.
+Writes ``BENCH_perf.json`` (schema ``repro.perf/v2``) at the repo root
+so future PRs have a perf trajectory to defend.
 
 Run from the repo root:
 
@@ -52,6 +55,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--train-limit", type=int, default=32)
     parser.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 16])
     parser.add_argument("--reps", type=int, default=5, help="best-of-N timing repetitions")
+    parser.add_argument("--inference-windows", type=int, default=64)
+    parser.add_argument("--inference-batch", type=int, default=4)
     parser.add_argument("--seed-seconds", type=float, default=SEED_REFERENCE["epoch_seconds"])
     parser.add_argument("--no-float32", action="store_true", help="skip the float32 mode column")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_perf.json")
@@ -70,18 +75,30 @@ def main(argv: list[str] | None = None) -> int:
         reps=args.reps,
         include_float32=not args.no_float32,
         seed_reference=seed_reference,
+        inference_windows=args.inference_windows,
+        inference_batch=args.inference_batch,
     )
     write_perf_json(payload, args.out)
 
     headers = ["Mode", "dtype", "Batch", "Epoch (s)", "Windows/s"]
     rows = [
         [e["mode"], e["dtype"], e["batch_size"], e["epoch_seconds"], e["windows_per_sec"]]
-        for e in payload["modes"]
+        for e in payload["training"]["modes"]
     ]
+    print("training")
     print(format_table(headers, rows, float_format="{:.3f}"))
     print()
-    for name, value in payload["speedups"].items():
-        print(f"{name}: {value:.2f}x")
+    headers = ["Path", "dtype", "Batch", "Seconds", "Predictions/s"]
+    rows = [
+        [e["path"], e["dtype"], e["batch_size"], e["seconds"], e["predictions_per_sec"]]
+        for e in payload["inference"]["modes"]
+    ]
+    print(f"inference ({payload['inference']['num_windows']} windows)")
+    print(format_table(headers, rows, float_format="{:.3f}"))
+    print()
+    for section in ("training", "inference"):
+        for name, value in payload[section]["speedups"].items():
+            print(f"{section}.{name}: {value:.2f}x")
     print(f"\nwrote {args.out}")
     return 0
 

@@ -13,6 +13,7 @@ from .hyperparams import SWEEPS, run_hyperparameter_study, sweep_parameter
 from .perf import (
     PERF_SCHEMA,
     enable_fast_alloc,
+    measure_inference,
     measure_perf,
     validate_perf_payload,
     write_perf_json,
@@ -48,6 +49,7 @@ __all__ = [
     "time_epoch",
     "PERF_SCHEMA",
     "enable_fast_alloc",
+    "measure_inference",
     "measure_perf",
     "validate_perf_payload",
     "write_perf_json",

@@ -2,13 +2,21 @@
 
 ST-HSL's efficiency study (paper Table V) compares architectures; this
 module instead tracks *our implementation's* throughput over time so
-every PR can defend a perf trajectory.  It measures windows/sec and
-epoch wall-clock for the batched execution path at several batch sizes,
-the per-sample fallback path, and the float32 compute mode, and writes a
-schema-versioned ``BENCH_perf.json`` for regression tracking.
+every PR can defend a perf trajectory.  Schema ``repro.perf/v2`` records
+two sections:
+
+* ``training`` — windows/sec and epoch wall-clock for the batched
+  execution path at several batch sizes, the per-sample fallback path,
+  and the float32 compute mode (the v1 payload, nested);
+* ``inference`` — predictions/sec for the serving-relevant paths: the
+  graph-building forward (what a naive ``predict`` costs: autograd
+  closures + parent tracking per op), the per-sample no-grad fast path,
+  and the batched fast path under a reusable
+  :class:`~repro.nn.BufferArena`.
 
 Entry point: ``benchmarks/perf/run_all.py``; a tier-1 smoke test
-(``pytest -m perf_smoke``) validates the schema on a tiny geometry.
+(``pytest -m perf_smoke``) validates the schema on a tiny geometry and
+guards the committed ``BENCH_perf.json`` speedups against regression.
 """
 
 from __future__ import annotations
@@ -16,7 +24,9 @@ from __future__ import annotations
 import ctypes
 import json
 import time
-from typing import Sequence
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..core import STHSL
 from ..data.datasets import CrimeDataset
@@ -27,13 +37,16 @@ __all__ = [
     "PERF_SCHEMA",
     "enable_fast_alloc",
     "measure_perf",
+    "measure_inference",
     "validate_perf_payload",
     "write_perf_json",
 ]
 
-PERF_SCHEMA = "repro.perf/v1"
+PERF_SCHEMA = "repro.perf/v2"
 
-_REQUIRED_MODE_KEYS = {"mode", "dtype", "batch_size", "epoch_seconds", "windows_per_sec"}
+_REQUIRED_TRAINING_KEYS = {"mode", "dtype", "batch_size", "epoch_seconds", "windows_per_sec"}
+_REQUIRED_INFERENCE_KEYS = {"path", "dtype", "batch_size", "seconds", "predictions_per_sec"}
+_INFERENCE_PATHS = ("graph", "no_grad", "batched")
 
 
 def enable_fast_alloc() -> bool:
@@ -76,6 +89,78 @@ def _timed_epoch(model, windows: WindowDataset, budget: ExperimentBudget,
     return best
 
 
+def _timed_call(fn: Callable[[], None], reps: int) -> float:
+    """Best-of-``reps`` wall-clock seconds for ``fn()`` (one warm-up call)."""
+    fn()
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_inference(
+    model,
+    stacked: np.ndarray,
+    batch_size: int,
+    reps: int = 3,
+    dtype: str = "float64",
+) -> tuple[list[dict], dict[str, float], dict[str, float]]:
+    """Predictions/sec over ``stacked`` ``(N, R, W, C)`` windows, three ways.
+
+    * ``graph`` — per-sample eval-mode ``forward`` with gradient recording
+      on: the cost a ``predict`` pays without the no-grad fast path (the
+      pre-fast-path serving baseline);
+    * ``no_grad`` — per-sample ``predict`` (graph-free fast path + arena);
+    * ``batched`` — ``predict_batch`` over ``batch_size`` chunks, one
+      vectorized pass per chunk reusing the model's arena throughout.
+
+    Returns ``(mode_entries, speedups, seconds)`` — the payload's
+    inference entries plus the unrounded per-path best times, so callers
+    can derive further ratios without rounding error.
+    """
+    num_windows = len(stacked)
+    model.eval()
+
+    def run_graph() -> None:
+        for window in stacked:
+            model.forward(window)
+
+    def run_no_grad() -> None:
+        for window in stacked:
+            model.predict(window)
+
+    def run_batched() -> None:
+        for start in range(0, num_windows, batch_size):
+            model.predict_batch(stacked[start : start + batch_size])
+
+    entries = []
+    seconds: dict[str, float] = {}
+    for path, batch, fn in (
+        ("graph", 1, run_graph),
+        ("no_grad", 1, run_no_grad),
+        ("batched", batch_size, run_batched),
+    ):
+        elapsed = _timed_call(fn, reps)
+        seconds[path] = elapsed
+        entries.append(
+            {
+                "path": path,
+                "dtype": dtype,
+                "batch_size": batch,
+                "seconds": round(elapsed, 4),
+                "predictions_per_sec": round(num_windows / elapsed, 2),
+            }
+        )
+    speedups = {
+        "no_grad_vs_graph": round(seconds["graph"] / seconds["no_grad"], 3),
+        "batched_vs_graph": round(seconds["graph"] / seconds["batched"], 3),
+        "batched_vs_no_grad": round(seconds["no_grad"] / seconds["batched"], 3),
+    }
+    return entries, speedups, seconds
+
+
 def measure_perf(
     dataset: CrimeDataset,
     budget: ExperimentBudget,
@@ -84,15 +169,20 @@ def measure_perf(
     include_float32: bool = True,
     seed_reference: dict | None = None,
     fast_alloc: bool = True,
+    inference_windows: int = 64,
+    inference_batch: int | None = None,
 ) -> dict:
-    """Measure epoch wall-clock and windows/sec across execution modes.
+    """Measure training and inference throughput across execution modes.
 
-    Modes: the per-sample fallback path (``sequential``, at the largest
-    batch size so the accumulation schedule matches), the batched path at
-    each requested batch size, and optionally the float32 compute mode at
-    the largest batch size.  ``seed_reference`` (a recorded pre-batching
-    measurement, see ``benchmarks/perf/run_all.py``) is embedded verbatim
-    and used for the headline speedup when provided.
+    Training modes: the per-sample fallback path (``sequential``, at the
+    largest batch size so the accumulation schedule matches), the batched
+    path at each requested batch size, and optionally the float32 compute
+    mode at the largest batch size.  Inference paths: see
+    :func:`measure_inference`, plus — when ``include_float32`` — the
+    batched fast path in the float32 compute mode (the serving analogue
+    of the training float32 column).  ``seed_reference`` (a recorded
+    pre-batching measurement, see ``benchmarks/perf/run_all.py``) is
+    embedded verbatim and used for the headline speedup when provided.
 
     ``fast_alloc`` applies :func:`enable_fast_alloc`, which retunes the
     process-wide glibc allocator for the rest of the process — pass
@@ -137,6 +227,46 @@ def measure_perf(
         seconds32 = _timed_epoch(model32, windows, budget, top_batch, use_batched=True, reps=reps)
         record("batched", "float32", top_batch, seconds32)
 
+    training_speedups = {
+        "batched_top_vs_sequential": round(sequential / batched[top_batch], 3),
+    }
+
+    # ----- Inference section -----
+    samples = list(windows.samples("train"))[: max(1, inference_windows)]
+    stacked = np.stack([sample.window for sample in samples])
+    # Forward-only passes are memory-locality-bound at the bench geometry,
+    # same as training: small batches win on a single core.
+    infer_batch = inference_batch if inference_batch is not None else min(4, top_batch)
+    infer_model = make_sthsl(dataset, budget)
+    inference_modes, inference_speedups, inference_seconds = measure_inference(
+        infer_model, stacked, batch_size=infer_batch, reps=reps
+    )
+    if include_float32:
+        # The serving-mode counterpart of the training section's float32
+        # column: the batched fast path in the float32 compute mode,
+        # against the same float64 graph-building baseline.
+        graph_seconds = inference_seconds["graph"]
+        infer32 = STHSL(
+            infer_model.config.with_overrides(compute_dtype="float32"), seed=budget.seed
+        )
+
+        def run_batched32() -> None:
+            for start in range(0, len(stacked), infer_batch):
+                infer32.predict_batch(stacked[start : start + infer_batch])
+
+        infer32.eval()
+        elapsed32 = _timed_call(run_batched32, reps)
+        inference_modes.append(
+            {
+                "path": "batched",
+                "dtype": "float32",
+                "batch_size": infer_batch,
+                "seconds": round(elapsed32, 4),
+                "predictions_per_sec": round(len(stacked) / elapsed32, 2),
+            }
+        )
+        inference_speedups["batched_float32_vs_graph"] = round(graph_seconds / elapsed32, 3)
+
     payload = {
         "schema": PERF_SCHEMA,
         "geometry": {
@@ -147,41 +277,64 @@ def measure_perf(
             "window": budget.window,
             "train_limit": budget.train_limit,
         },
-        "modes": modes,
-        "speedups": {
-            "batched_top_vs_sequential": round(sequential / batched[top_batch], 3),
+        "training": {"modes": modes, "speedups": training_speedups},
+        "inference": {
+            "num_windows": len(stacked),
+            "modes": inference_modes,
+            "speedups": inference_speedups,
         },
     }
     if seed_reference is not None:
         payload["seed_reference"] = dict(seed_reference)
         seed_seconds = float(seed_reference["epoch_seconds"])
-        payload["speedups"]["batched_top_vs_seed"] = round(seed_seconds / batched[top_batch], 3)
+        training_speedups["batched_top_vs_seed"] = round(seed_seconds / batched[top_batch], 3)
         if include_float32:
-            payload["speedups"]["batched_top_float32_vs_seed"] = round(seed_seconds / seconds32, 3)
+            training_speedups["batched_top_float32_vs_seed"] = round(seed_seconds / seconds32, 3)
     return payload
 
 
-def validate_perf_payload(payload: dict) -> None:
-    """Raise ``ValueError`` if ``payload`` does not match the perf schema."""
-    if payload.get("schema") != PERF_SCHEMA:
-        raise ValueError(f"unexpected schema tag: {payload.get('schema')!r}")
-    for key in ("geometry", "modes", "speedups"):
-        if key not in payload:
-            raise ValueError(f"missing top-level key {key!r}")
-    if not isinstance(payload["modes"], list) or not payload["modes"]:
-        raise ValueError("modes must be a non-empty list")
-    for entry in payload["modes"]:
-        missing = _REQUIRED_MODE_KEYS - set(entry)
+def _validate_section(section, name: str, required_keys: set, time_key: str, rate_key: str) -> None:
+    if not isinstance(section, dict):
+        raise ValueError(f"{name} must be a mapping")
+    for key in ("modes", "speedups"):
+        if key not in section:
+            raise ValueError(f"{name} missing key {key!r}")
+    if not isinstance(section["modes"], list) or not section["modes"]:
+        raise ValueError(f"{name}.modes must be a non-empty list")
+    for entry in section["modes"]:
+        missing = required_keys - set(entry)
         if missing:
-            raise ValueError(f"mode entry missing keys {sorted(missing)}")
-        if entry["mode"] not in ("sequential", "batched"):
-            raise ValueError(f"unknown mode {entry['mode']!r}")
+            raise ValueError(f"{name} mode entry missing keys {sorted(missing)}")
         if entry["dtype"] not in ("float32", "float64"):
             raise ValueError(f"unknown dtype {entry['dtype']!r}")
-        if not entry["epoch_seconds"] > 0 or not entry["windows_per_sec"] > 0:
-            raise ValueError("timings must be positive")
-    if not all(isinstance(v, (int, float)) and v > 0 for v in payload["speedups"].values()):
-        raise ValueError("speedups must be positive numbers")
+        if not entry[time_key] > 0 or not entry[rate_key] > 0:
+            raise ValueError(f"{name} timings must be positive")
+    if not all(isinstance(v, (int, float)) and v > 0 for v in section["speedups"].values()):
+        raise ValueError(f"{name}.speedups must be positive numbers")
+
+
+def validate_perf_payload(payload: dict) -> None:
+    """Raise ``ValueError`` if ``payload`` does not match the v2 perf schema."""
+    if payload.get("schema") != PERF_SCHEMA:
+        raise ValueError(
+            f"unexpected schema tag: {payload.get('schema')!r} (expected {PERF_SCHEMA}; "
+            "re-run benchmarks/perf/run_all.py to regenerate v1 payloads)"
+        )
+    for key in ("geometry", "training", "inference"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    _validate_section(
+        payload["training"], "training", _REQUIRED_TRAINING_KEYS, "epoch_seconds", "windows_per_sec"
+    )
+    for entry in payload["training"]["modes"]:
+        if entry["mode"] not in ("sequential", "batched"):
+            raise ValueError(f"unknown training mode {entry['mode']!r}")
+    _validate_section(
+        payload["inference"], "inference", _REQUIRED_INFERENCE_KEYS, "seconds", "predictions_per_sec"
+    )
+    for entry in payload["inference"]["modes"]:
+        if entry["path"] not in _INFERENCE_PATHS:
+            raise ValueError(f"unknown inference path {entry['path']!r}")
 
 
 def write_perf_json(payload: dict, path) -> None:

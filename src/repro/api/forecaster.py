@@ -34,6 +34,9 @@ class Forecaster:
         fc = Forecaster("ST-HSL", budget=ExperimentBudget(epochs=5))
         fc.fit(dataset)
         counts = fc.predict(history)        # raw (R, W, C) counts in, (R, C) out
+        stack = fc.predict_batch(windows)   # (B, R, W, C) through the fast path
+        for out in fc.iter_predict(stream): # streaming, micro-batched
+            ...
         result = fc.evaluate(dataset)       # masked MAE/MAPE on the test split
         fc.save("model.npz")                # self-describing artifact
         fc2 = Forecaster.load("model.npz")  # no flags needed
@@ -144,13 +147,71 @@ class Forecaster:
             raise ValueError(f"expected a (R, W, C) window or (B, R, W, C) batch, got {window.shape}")
         normalized = (window - self.mu) / self.sigma
         if window.ndim == 4:
-            if self.spec.supports_batching and hasattr(self.model, "predict_batch"):
+            if hasattr(self.model, "predict_batch"):
+                # Graph-free fast path: no_grad + the model's buffer arena,
+                # vectorized when the spec supports batching (and a
+                # per-sample loop under the same arena otherwise).  Every
+                # built-in model has predict_batch; the fallback covers
+                # third-party registry entries that don't subclass
+                # ForecastModel.
                 out = self.model.predict_batch(normalized)
             else:
                 out = np.stack([self.model.predict(sample) for sample in normalized])
         else:
             out = self.model.predict(normalized)
         return np.maximum(out * self.sigma + self.mu, 0.0)
+
+    def predict_batch(self, windows: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """High-throughput batched inference over stacked raw-count windows.
+
+        ``windows`` is ``(B, R, W, C)``; returns ``(B, R, C)`` expected
+        counts.  The whole stack runs through the model's graph-free
+        batched path (no autograd closures, reusable buffer arena); pass
+        ``batch_size`` to chunk very large stacks and bound peak memory —
+        the arena is reused across chunks, so chunking costs no extra
+        allocations.
+        """
+        self._require_fitted()
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, W, C) batch, got {windows.shape}")
+        if batch_size is None or len(windows) <= batch_size:
+            return self.predict(windows)
+        return np.concatenate(
+            [self.predict(windows[start : start + batch_size]) for start in range(0, len(windows), batch_size)]
+        )
+
+    def iter_predict(self, events, batch_size: int = 32):
+        """Streaming inference over an iterable of ``(R, W, C)`` windows.
+
+        Micro-batches up to ``batch_size`` windows from the stream through
+        the batched fast path and yields one ``(R, C)`` count prediction
+        per input window, in input order (the tail flushes when the stream
+        ends).  One buffer arena serves the whole stream, so steady-state
+        throughput matches :meth:`predict_batch`.  Use ``batch_size=1``
+        when per-event latency matters more than throughput.
+        """
+        # Validate eagerly, at the call site — not at first next() on the
+        # returned generator, which may be consumed far from the mistake.
+        self._require_fitted()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return self._iter_predict(events, batch_size)
+
+    def _iter_predict(self, events, batch_size: int):
+        pending: list[np.ndarray] = []
+        for event in events:
+            window = np.asarray(event, dtype=float)
+            if window.ndim != 3:
+                raise ValueError(f"expected (R, W, C) windows in the stream, got {window.shape}")
+            pending.append(window)
+            if len(pending) == batch_size:
+                yield from self.predict(np.stack(pending))
+                pending = []
+        if pending:
+            yield from self.predict(np.stack(pending))
 
     def evaluate(self, dataset: CrimeDataset, split: str = "test") -> EvaluationResult:
         """Masked MAE/MAPE of the fitted model over one split of ``dataset``.

@@ -246,7 +246,7 @@ def _build_st_resnet(geometry: ModelGeometry, *, window: int, hidden: int, seed:
     )
 
 
-@REGISTRY.register("DCRNN", description="diffusion-convolutional RNN")
+@REGISTRY.register("DCRNN", supports_batching=True, description="diffusion-convolutional RNN")
 def _build_dcrnn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return DCRNN(geometry.adjacency(), geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 
@@ -258,7 +258,7 @@ def _build_stgcn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int
     )
 
 
-@REGISTRY.register("GWN", description="Graph WaveNet: adaptive adjacency + dilated TCN")
+@REGISTRY.register("GWN", supports_batching=True, description="Graph WaveNet: adaptive adjacency + dilated TCN")
 def _build_gwn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return GraphWaveNet(geometry.adjacency(), geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 
@@ -268,7 +268,7 @@ def _build_sttrans(geometry: ModelGeometry, *, window: int, hidden: int, seed: i
     return STtrans(geometry.num_regions, geometry.num_categories, window, dim=hidden, seed=seed, **overrides)
 
 
-@REGISTRY.register("DeepCrime", description="attentive recurrent crime predictor")
+@REGISTRY.register("DeepCrime", supports_batching=True, description="attentive recurrent crime predictor")
 def _build_deepcrime(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return DeepCrime(geometry.num_regions, geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 

@@ -5,6 +5,14 @@ maps are replaced by K-hop diffusion convolutions over the region graph
 (random-walk operator and its transpose, capturing both diffusion
 directions).  We run the encoder over the history window and project the
 final hidden state to the next-day prediction.
+
+Batched-native: the diffusion convolution and the DCGRU cell operate on
+trailing dimensions of ``(..., R, d)`` states, so a stacked
+``(B, R, W, C)`` batch runs the recurrence once over ``(B, R, ·)``
+hidden states (the supports broadcast over the batch axis) and the
+per-sample ``forward`` is a ``B=1`` wrapper.  The duck type
+(``training_loss_batch``/``predict_batch``) puts DCRNN on the trainer's
+vectorized path.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import Tensor
+from ..nn import functional as F
 from ..training.interface import ForecastModel
 
 __all__ = ["DCRNN", "random_walk_supports"]
@@ -38,7 +47,8 @@ class _DiffusionConv(nn.Module):
         self.linear = nn.Linear(in_dim * num_matrices, out_dim, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        """``x``: (R, d_in) -> (R, d_out)."""
+        """``x``: (..., R, d_in) -> (..., R, d_out); supports broadcast over
+        any leading (batch) axes."""
         terms = [x]
         for support in self.supports:
             hop = x
@@ -58,7 +68,7 @@ class _DCGRUCell(nn.Module):
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         combined = nn.concatenate([x, h], axis=-1)
         gates = self.gate_conv(combined).sigmoid()
-        r, u = gates[:, : self.hidden], gates[:, self.hidden :]
+        r, u = gates[..., : self.hidden], gates[..., self.hidden :]
         candidate = self.cand_conv(nn.concatenate([x, r * h], axis=-1)).tanh()
         return u * h + (1.0 - u) * candidate
 
@@ -83,8 +93,25 @@ class DCRNN(ForecastModel):
         self.head = nn.Linear(hidden, num_categories, rng)
 
     def forward(self, window: np.ndarray) -> Tensor:
-        _, steps, _ = window.shape
-        h = Tensor(np.zeros((self.num_regions, self.hidden)))
+        """``(R, W, C)`` history -> ``(R, C)`` prediction (B=1 wrapper)."""
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
+        return self.forward_batch(window[None]).squeeze(0)
+
+    def forward_batch(self, windows: np.ndarray) -> Tensor:
+        """``(B, R, W, C)`` stacked histories -> ``(B, R, C)`` predictions."""
+        windows = np.asarray(windows)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, W, C) batch, got shape {windows.shape}")
+        b, _, steps, _ = windows.shape
+        h = Tensor(np.zeros((b, self.num_regions, self.hidden)))
         for t in range(steps):
-            h = self.cell(Tensor(window[:, t, :]), h)
+            h = self.cell(Tensor(windows[:, :, t, :]), h)
         return self.head(h)
+
+    def training_loss_batch(self, windows: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean MSE over a stacked batch; its gradient equals the average of
+        per-sample ``training_loss`` gradients, so batched and sequential
+        trainer paths take identical optimizer steps."""
+        return F.mse_loss(self.forward_batch(windows), targets, reduction="mean")

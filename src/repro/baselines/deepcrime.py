@@ -4,6 +4,13 @@ Attentive hierarchical recurrent network for crime prediction: a GRU
 encodes each region's crime sequence (categories as features, plus a
 learnable region embedding), and a temporal attention layer aggregates
 hidden states with learned weights before the prediction head.
+
+Batched-native: ``forward_batch`` folds a stacked ``(B, R, W, C)`` batch
+into the GRU's sample axis (``B*R`` sequences in one unrolled pass), the
+attention and head operate on trailing dimensions, and the per-sample
+``forward`` is a ``B=1`` wrapper — the same duck type
+(``training_loss_batch``/``predict_batch``) as ST-HSL and STGCN, putting
+DeepCrime on the trainer's vectorized path.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ class DeepCrime(ForecastModel):
     ):
         super().__init__()
         rng = np.random.default_rng(seed)
+        self.num_regions = num_regions
+        self.region_dim = region_dim
         self.hidden = hidden
         self.region_embed = nn.Parameter(nn.init.normal((num_regions, region_dim), rng, std=0.1))
         self.gru = nn.GRU(num_categories + region_dim, hidden, rng)
@@ -40,12 +49,34 @@ class DeepCrime(ForecastModel):
         self.head = nn.Linear(hidden, num_categories, rng)
 
     def forward(self, window: np.ndarray) -> Tensor:
-        r, w, c = window.shape
-        region_features = self.region_embed.expand_dims(1)  # (R, 1, region_dim)
-        region_tiled = region_features * Tensor(np.ones((1, w, 1)))
-        inputs = nn.concatenate([Tensor(window), region_tiled], axis=-1)
-        states, _ = self.gru(inputs)  # (R, W, hidden)
-        scores = self.attn_proj(states).tanh() @ self.attn_vector  # (R, W, 1)
+        """``(R, W, C)`` history -> ``(R, C)`` prediction (B=1 wrapper)."""
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
+        return self.forward_batch(window[None]).squeeze(0)
+
+    def forward_batch(self, windows: np.ndarray) -> Tensor:
+        """``(B, R, W, C)`` stacked histories -> ``(B, R, C)`` predictions."""
+        windows = np.asarray(windows)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, W, C) batch, got shape {windows.shape}")
+        b, r, w, c = windows.shape
+        # Tile the region embedding over batch and time; the broadcast
+        # multiply keeps gradients flowing back to the embedding (summed
+        # over batch and time by unbroadcast, matching B per-sample passes).
+        region = self.region_embed.reshape(1, r, 1, self.region_dim)
+        region_tiled = (region * Tensor(np.ones((b, 1, w, 1)))).reshape(b * r, w, self.region_dim)
+        inputs = nn.concatenate(
+            [Tensor(windows.reshape(b * r, w, c)), region_tiled], axis=-1
+        )
+        states, _ = self.gru(inputs)  # (B*R, W, hidden)
+        scores = self.attn_proj(states).tanh() @ self.attn_vector  # (B*R, W, 1)
         weights = F.softmax(scores, axis=1)
-        context = (states * weights).sum(axis=1)  # (R, hidden)
-        return self.head(context)
+        context = (states * weights).sum(axis=1)  # (B*R, hidden)
+        return self.head(context).reshape(b, r, c)
+
+    def training_loss_batch(self, windows: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean MSE over a stacked batch; its gradient equals the average of
+        per-sample ``training_loss`` gradients, so batched and sequential
+        trainer paths take identical optimizer steps."""
+        return F.mse_loss(self.forward_batch(windows), targets, reduction="mean")

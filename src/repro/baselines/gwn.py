@@ -4,6 +4,13 @@ Combines an *adaptive adjacency matrix* learned from node embeddings
 (``softmax(relu(E₁E₂ᵀ))``) with stacked dilated causal gated temporal
 convolutions and graph convolutions over both the fixed and adaptive
 supports, plus skip connections into the output head.
+
+Batched-native: every layer operates on stacked ``(B, R, ch, T)`` inputs
+— the temporal convolutions fold batch and region into their sample
+axis, the graph mixing broadcasts the ``(R, R)`` supports over batch and
+time — and the per-sample ``forward`` is a ``B=1`` wrapper.  The duck
+type (``training_loss_batch``/``predict_batch``) puts Graph WaveNet on
+the trainer's vectorized path.
 """
 
 from __future__ import annotations
@@ -28,15 +35,16 @@ class _GWNLayer(nn.Module):
         self.skip_proj = nn.Linear(channels, channels, rng)
 
     def forward(self, x: Tensor, supports: list[Tensor]) -> tuple[Tensor, Tensor]:
-        """``x``: (R, ch, T); returns (residual output, skip contribution)."""
-        h = self.temporal(x)
-        time_major = h.transpose(2, 0, 1)  # (T, R, ch)
+        """``x``: (B, R, ch, T); returns (residual output, skip contribution)."""
+        b, r, ch, t = x.shape
+        h = self.temporal(x.reshape(b * r, ch, t)).reshape(b, r, ch, t)
+        time_major = h.transpose(0, 3, 1, 2)  # (B, T, R, ch)
         terms = [time_major]
         for support in supports:
-            terms.append(support @ time_major)
-        mixed = self.graph_proj(nn.concatenate(terms, axis=-1)).relu()
-        out = mixed.transpose(1, 2, 0) + x
-        skip = self.skip_proj(mixed.mean(axis=0))  # (R, ch)
+            terms.append(support @ time_major)  # (R, R) broadcasts over (B, T)
+        mixed = self.graph_proj(nn.concatenate(terms, axis=-1)).relu()  # (B, T, R, ch)
+        out = mixed.transpose(0, 2, 3, 1) + x
+        skip = self.skip_proj(mixed.mean(axis=1))  # (B, R, ch)
         return out, skip
 
 
@@ -74,10 +82,27 @@ class GraphWaveNet(ForecastModel):
         return F.softmax(scores, axis=-1)
 
     def forward(self, window: np.ndarray) -> Tensor:
+        """``(R, W, C)`` history -> ``(R, C)`` prediction (B=1 wrapper)."""
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
+        return self.forward_batch(window[None]).squeeze(0)
+
+    def forward_batch(self, windows: np.ndarray) -> Tensor:
+        """``(B, R, W, C)`` stacked histories -> ``(B, R, C)`` predictions."""
+        windows = np.asarray(windows)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, W, C) batch, got shape {windows.shape}")
         supports = self.fixed_supports + [self.adaptive_adjacency()]
-        x = self.input_proj(Tensor(window)).transpose(0, 2, 1)  # (R, hidden, W)
+        x = self.input_proj(Tensor(windows)).transpose(0, 1, 3, 2)  # (B, R, hidden, W)
         skip_total: Tensor | None = None
         for layer in self.layers:
             x, skip = layer(x, supports)
             skip_total = skip if skip_total is None else skip_total + skip
         return self.head(skip_total.relu())
+
+    def training_loss_batch(self, windows: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean MSE over a stacked batch; its gradient equals the average of
+        per-sample ``training_loss`` gradients, so batched and sequential
+        trainer paths take identical optimizer steps."""
+        return F.mse_loss(self.forward_batch(windows), targets, reduction="mean")

@@ -92,9 +92,3 @@ class STGCN(ForecastModel):
         average of per-sample ``training_loss`` gradients, so the batched
         and sequential trainer paths take identical optimizer steps."""
         return F.mse_loss(self.forward_batch(windows), targets, reduction="mean")
-
-    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
-        """Batched inference: ``(B, R, W, C)`` in, ``(B, R, C)`` out."""
-        self.eval()
-        with nn.no_grad():
-            return self.forward_batch(windows).data.copy()

@@ -212,7 +212,17 @@ class STHSL(nn.Module):
         if self.hypergraph is not None:
             source = local if local is not None else embeddings
             nodes = source.transpose(0, 2, 1, 3, 4).reshape(b, t, r * c, cfg.dim)
-            self._node_cache = nodes
+            if nn.is_grad_enabled() or nn.active_arena() is None:
+                # Cached for loss()'s corrupt-propagation term (also under
+                # plain no_grad, so a no-grad loss evaluation still works).
+                self._node_cache = nodes
+            else:
+                # Arena-backed inference: the nodes live in recycled
+                # buffers, so a retained cache would go stale after the
+                # predict scope exits.  Invalidate instead, making a
+                # subsequent loss() fail fast rather than silently reuse
+                # the previous forward's embeddings.
+                self._node_cache = None
             global_nodes = self.hypergraph(nodes)
             global_temporal = (
                 self.global_temporal(global_nodes)
@@ -356,13 +366,13 @@ class STHSL(nn.Module):
     def predict(self, window: np.ndarray) -> np.ndarray:
         """Inference: normalised window in, normalised prediction out."""
         self.eval()
-        with nn.no_grad():
+        with nn.no_grad(), nn.use_arena(self._inference_arena()):
             return self.forward(window).prediction.data.copy()
 
     def predict_batch(self, windows: np.ndarray) -> np.ndarray:
         """Batched inference: ``(B, R, T, C)`` in, ``(B, R, C)`` out."""
         self.eval()
-        with nn.no_grad():
+        with nn.no_grad(), nn.use_arena(self._inference_arena()):
             return self.forward_batch(windows).prediction.data.copy()
 
     def hyperedge_relevance(self, window: np.ndarray) -> np.ndarray:
@@ -371,7 +381,7 @@ class STHSL(nn.Module):
             raise RuntimeError("hypergraph branch is disabled in this config")
         cfg = self.config
         self.eval()
-        with nn.no_grad():
+        with nn.no_grad(), nn.use_arena(self._inference_arena()):
             embeddings = self.embedding(window)
             r, t, c, d = embeddings.shape
             nodes = embeddings.transpose(1, 0, 2, 3).reshape(t, r * c, d)

@@ -7,6 +7,7 @@ checkpointing.  See DESIGN.md §2 for the substitution rationale.
 """
 
 from . import functional, init
+from .arena import BufferArena, active_arena, use_arena
 from .layers import (
     GRU,
     BatchNorm2d,
@@ -57,6 +58,9 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "BufferArena",
+    "use_arena",
+    "active_arena",
     "Module",
     "ModuleList",
     "Parameter",

@@ -1,0 +1,135 @@
+"""Buffer-reuse arena for graph-free inference.
+
+The autograd hot path allocates a fresh numpy array for every op output.
+During training those buffers must survive until the backward pass, but
+under :class:`~repro.nn.tensor.no_grad` each intermediate dies as soon as
+its consumer has read it — so inference can recycle a small pool of
+preallocated buffers instead of paying allocator traffic (and, for
+multi-megabyte conv workspaces, kernel page faults) on every call.
+
+Usage::
+
+    arena = BufferArena()
+    with no_grad(), use_arena(arena):
+        prediction = model.forward(window).data.copy()  # copy before exit!
+
+Inside the scope, the no-grad fast paths in :mod:`repro.nn.tensor` and
+:mod:`repro.nn.ops` allocate op outputs via :meth:`BufferArena.take`.
+Buffers are keyed by ``(shape, dtype)`` and stay *in use* until the scope
+exits, so two same-shaped tensors alive in one forward pass never alias.
+On exit every buffer returns to the free pool; re-entering the scope (the
+next ``predict`` call) reuses them.  Steady-state memory is therefore
+bounded by one call's peak working set per distinct shape.
+
+Two contracts follow from the recycling:
+
+* anything that must survive the scope (the returned prediction) must be
+  copied out before the scope exits — the model ``predict`` helpers do;
+* like ``no_grad`` itself, the active-arena state is process-global and
+  not thread-safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferArena", "use_arena", "active_arena"]
+
+
+class BufferArena:
+    """A ``(shape, dtype)``-keyed pool of reusable numpy buffers."""
+
+    __slots__ = ("_free", "_in_use", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._in_use: list[np.ndarray] = []
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Hand out an uninitialised buffer; it stays unavailable for reuse
+        until :meth:`release_all` (normally the end of the ``use_arena``
+        scope that allocated it)."""
+        key = (shape, dtype)
+        pool = self._free.get(key)
+        if pool:
+            buffer = pool.pop()
+            self.hits += 1
+        else:
+            buffer = np.empty(shape, dtype)
+            self.misses += 1
+        self._in_use.append(buffer)
+        return buffer
+
+    def release_all(self) -> None:
+        """Return every outstanding buffer to the free pools."""
+        for buffer in self._in_use:
+            self._free.setdefault((buffer.shape, buffer.dtype), []).append(buffer)
+        self._in_use.clear()
+
+    def clear(self) -> None:
+        """Drop all pooled buffers (frees the memory)."""
+        self._free.clear()
+        self._in_use.clear()
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._in_use) + sum(len(pool) for pool in self._free.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held (in use + free pools)."""
+        total = sum(buffer.nbytes for buffer in self._in_use)
+        return total + sum(b.nbytes for pool in self._free.values() for b in pool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferArena(buffers={self.num_buffers}, bytes={self.nbytes}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: The arena no-grad fast paths allocate from, or None (fresh allocations).
+_ACTIVE: BufferArena | None = None
+
+
+def active_arena() -> BufferArena | None:
+    """The arena currently supplying no-grad op outputs, if any."""
+    return _ACTIVE
+
+
+def request(shape: tuple[int, ...], dtype) -> np.ndarray | None:
+    """Arena buffer for an op output, or None to let numpy allocate.
+
+    ``None`` is exactly what ufunc ``out=`` expects when no arena is
+    active, so call sites can pass the result straight through.
+    """
+    arena = _ACTIVE
+    return arena.take(shape, dtype) if arena is not None else None
+
+
+class use_arena:
+    """Context manager activating ``arena`` for no-grad op outputs.
+
+    On exit the previous arena (usually None) is restored and every
+    buffer handed out inside the scope returns to the free pool.
+    Re-entering with the *same* arena nests safely: the inner scope
+    leaves release to the outermost owner.
+    """
+
+    def __init__(self, arena: BufferArena):
+        self._arena = arena
+        self._prev: BufferArena | None = None
+
+    def __enter__(self) -> BufferArena:
+        global _ACTIVE
+        self._prev = _ACTIVE
+        _ACTIVE = self._arena
+        return self._arena
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        _ACTIVE = self._prev
+        if self._arena is not None and self._prev is not self._arena:
+            self._arena.release_all()

@@ -11,6 +11,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .arena import BufferArena
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "ModuleList", "Sequential"]
@@ -80,6 +81,15 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.grad = None
+
+    def _inference_arena(self) -> BufferArena:
+        """The module's buffer arena for graph-free inference, created on
+        first use and reused across every subsequent predict call."""
+        arena = self.__dict__.get("_predict_arena")
+        if arena is None:
+            arena = BufferArena()
+            self._predict_arena = arena
+        return arena
 
     # ------------------------------------------------------------------
     # Serialization

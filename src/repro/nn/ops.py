@@ -13,7 +13,8 @@ from functools import lru_cache
 
 import numpy as np
 
-from .tensor import Tensor
+from .arena import request as _arena_request
+from .tensor import Tensor, _padded, is_grad_enabled
 
 __all__ = ["conv2d", "conv1d"]
 
@@ -152,8 +153,31 @@ def _scatter_cols(gcols: np.ndarray, geometry, spatial_size: int) -> np.ndarray:
     return _scatter_cols_native(gcols, geometry, spatial_size)
 
 
+def _workspace(shape: tuple[int, ...], dtype, reuse: bool) -> np.ndarray:
+    """A conv workspace buffer: arena-pooled on the inference fast path."""
+    if reuse:
+        buffer = _arena_request(shape, dtype)
+        if buffer is not None:
+            return buffer
+    return np.empty(shape, dtype=dtype)
+
+
+def _add_bias(out_data: np.ndarray, bias_view: np.ndarray) -> np.ndarray:
+    """Add a broadcast bias to a conv output.
+
+    In place when dtypes match — the matmul/FIR output is exclusively
+    ours on both the training and inference paths — falling back to the
+    promoting out-of-place add for mixed dtypes.
+    """
+    if bias_view.dtype == out_data.dtype:
+        out_data += bias_view
+        return out_data
+    return out_data + bias_view
+
+
 def _fill_cols2d(
-    x: np.ndarray, kh: int, kw: int, stride: tuple[int, int], out_h: int, out_w: int
+    x: np.ndarray, kh: int, kw: int, stride: tuple[int, int], out_h: int, out_w: int,
+    reuse: bool = False,
 ) -> np.ndarray:
     """im2col by per-tap strided copies: ``(N, C, H, W) -> (N, C*KH*KW, L)``.
 
@@ -163,7 +187,7 @@ def _fill_cols2d(
     """
     n, c, _, _ = x.shape
     sh, sw = stride
-    cols = np.empty((n, c, kh * kw, out_h * out_w), dtype=x.dtype)
+    cols = _workspace((n, c, kh * kw, out_h * out_w), x.dtype, reuse)
     view = cols.reshape(n, c, kh * kw, out_h, out_w)
     for tap in range(kh * kw):
         i, j = divmod(tap, kw)
@@ -171,10 +195,12 @@ def _fill_cols2d(
     return cols.reshape(n, c * kh * kw, out_h * out_w)
 
 
-def _fill_cols1d(x: np.ndarray, k: int, stride: int, dilation: int, out_l: int) -> np.ndarray:
+def _fill_cols1d(
+    x: np.ndarray, k: int, stride: int, dilation: int, out_l: int, reuse: bool = False
+) -> np.ndarray:
     """1-D im2col by per-tap strided copies: ``(N, C, L) -> (N, C*K, out_l)``."""
     n, c, _ = x.shape
-    cols = np.empty((n, c, k, out_l), dtype=x.dtype)
+    cols = _workspace((n, c, k, out_l), x.dtype, reuse)
     for tap in range(k):
         start = tap * dilation
         cols[:, :, tap] = x[:, :, start : start + stride * out_l : stride]
@@ -212,19 +238,30 @@ def conv2d(
     if c_in != c_in_w:
         raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
 
+    inference = not is_grad_enabled()
     x_data = x.data
     if ph or pw:
-        x_data = np.pad(x_data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        # Arena-pooled on the inference fast path (shared _padded helper
+        # keeps the layout-parity gate in one place).
+        pad_width = ((0, 0), (0, 0), (ph, ph), (pw, pw))
+        x_data = _padded(x_data, pad_width) if inference else np.pad(x_data, pad_width)
     hp, wp = x_data.shape[2:]
     _, _, out_h, out_w = _im2col_indices(hp, wp, kh, kw, stride)
 
-    cols_mat = _fill_cols2d(x_data, kh, kw, stride, out_h, out_w)  # (N, C_in*kh*kw, L)
+    # (N, C_in*kh*kw, L); the workspace is arena-pooled on the no-grad path
+    # (during training it must survive until backward, so it stays fresh).
+    cols_mat = _fill_cols2d(x_data, kh, kw, stride, out_h, out_w, reuse=inference)
     w_mat = weight.data.reshape(c_out, c_in * kh * kw)
     # (C_out, K) @ (N, K, L) broadcast matmul: hits BLAS, unlike np.einsum.
-    out_data = np.matmul(w_mat, cols_mat)
+    gemm_out = None
+    if inference and w_mat.dtype == cols_mat.dtype:
+        gemm_out = _arena_request((n, c_out, out_h * out_w), w_mat.dtype)
+    out_data = np.matmul(w_mat, cols_mat, out=gemm_out)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, c_out, 1)
+        out_data = _add_bias(out_data, bias.data.reshape(1, c_out, 1))
     out_data = out_data.reshape(n, c_out, out_h, out_w)
+    if inference:
+        return Tensor._from_array(out_data)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 
@@ -263,16 +300,23 @@ def _conv1d_fir(
     n = x_data.shape[0]
     k = weight.shape[-1]
     w_taps = weight.data.reshape(k)
+    inference = not is_grad_enabled()
 
     def tap_slice(tap: int) -> slice:
         start = tap * dilation
         return slice(start, start + stride * out_l, stride)
 
-    out_data = w_taps[0] * x_data[:, :, tap_slice(0)]
+    first = x_data[:, :, tap_slice(0)]
+    out_buffer = None
+    if inference and w_taps.dtype == x_data.dtype and first.flags.c_contiguous:
+        out_buffer = _arena_request((n, 1, out_l), x_data.dtype)
+    out_data = np.multiply(first, w_taps[0], out=out_buffer)
     for tap in range(1, k):
         out_data += w_taps[tap] * x_data[:, :, tap_slice(tap)]
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, 1, 1)
+        out_data = _add_bias(out_data, bias.data.reshape(1, 1, 1))
+    if inference:
+        return Tensor._from_array(out_data)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 
@@ -323,7 +367,11 @@ def conv1d(
     if c_in != c_in_w:
         raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
 
-    x_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
+    inference = not is_grad_enabled()
+    x_data = x.data
+    if padding:
+        pad_width = ((0, 0), (0, 0), (padding, padding))
+        x_data = _padded(x_data, pad_width) if inference else np.pad(x_data, pad_width)
     lp = x_data.shape[2]
     span = (k - 1) * dilation + 1
     if lp < span:
@@ -336,12 +384,17 @@ def conv1d(
         # adds replace im2col + matmul entirely.
         return _conv1d_fir(x, weight, bias, x_data, stride, dilation, out_l, padding, length)
 
-    cols_mat = _fill_cols1d(x_data, k, stride, dilation, out_l)  # (N, C_in*k, out_l)
+    cols_mat = _fill_cols1d(x_data, k, stride, dilation, out_l, reuse=inference)  # (N, C_in*k, out_l)
     w_mat = weight.data.reshape(c_out, c_in * k)
+    gemm_out = None
+    if inference and w_mat.dtype == cols_mat.dtype:
+        gemm_out = _arena_request((n, c_out, out_l), w_mat.dtype)
     # (C_out, K) @ (N, K, L) broadcast matmul: hits BLAS, unlike np.einsum.
-    out_data = np.matmul(w_mat, cols_mat)
+    out_data = np.matmul(w_mat, cols_mat, out=gemm_out)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, c_out, 1)
+        out_data = _add_bias(out_data, bias.data.reshape(1, c_out, 1))
+    if inference:
+        return Tensor._from_array(out_data)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 

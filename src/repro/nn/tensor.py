@@ -16,6 +16,14 @@ Design notes
   :func:`unbroadcast`, mirroring numpy broadcasting semantics exactly.
 * Arrays are stored as ``float64`` by default, which keeps finite-difference
   gradient checks (see ``tests/nn/test_gradcheck.py``) tight.
+* Inside :class:`no_grad`, every op takes a *graph-free fast path*: the
+  backward closure is never constructed, no parents are tracked, the
+  result is wrapped by the slim :meth:`Tensor._from_array` constructor,
+  and — when a :class:`~repro.nn.arena.BufferArena` is active — outputs
+  are written into reusable preallocated buffers via ufunc ``out=``
+  instead of fresh allocations.  The fast path performs the identical
+  sequence of IEEE operations, so inference results match the
+  graph-building path bitwise (locked by ``tests/api/test_registry.py``).
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from . import arena as _arena
 
 __all__ = [
     "Tensor",
@@ -43,7 +53,8 @@ _GRAD_ENABLED = True
 # float32 halves memory traffic on the conv/matmul hot paths and is exposed
 # as an opt-in compute mode (see STHSLConfig.compute_dtype and the perf
 # harness under benchmarks/perf/).
-_DEFAULT_DTYPE = np.dtype(np.float64)
+_FLOAT64 = np.dtype(np.float64)
+_DEFAULT_DTYPE = _FLOAT64
 _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
@@ -86,7 +97,9 @@ class no_grad:
     """Context manager that disables graph construction.
 
     Mirrors ``torch.no_grad()``: inside the block, results of operations on
-    tensors that require grad do not require grad themselves.
+    tensors that require grad do not require grad themselves.  Ops take the
+    graph-free fast path — no backward closures, no parent tracking, and
+    arena-backed output buffers when one is active.
     """
 
     def __enter__(self) -> "no_grad":
@@ -158,6 +171,49 @@ def _as_array(value, dtype=None) -> np.ndarray:
     return arr
 
 
+# ---------------------------------------------------------------------------
+# No-grad fast-path allocation helpers
+# ---------------------------------------------------------------------------
+# Each returns an arena buffer for the op's output, or None — which is what
+# ufunc ``out=`` expects when numpy should allocate fresh.  Arena buffers
+# are only requested for exact-shape, same-dtype results *whose inputs are
+# C-contiguous*: ufuncs with ``out=None`` allocate in the input's memory
+# order (K-order), and downstream reductions round differently on
+# different layouts — so a C-ordered buffer is only layout-identical (and
+# therefore bitwise-identical end to end) to the graph path's fresh
+# allocation when that allocation would have been C-ordered too.
+# Anything else (broadcasting, dtype promotion, transposed views) falls
+# back to a fresh allocation, i.e. the exact call the graph path makes.
+
+
+def _unary_out(x: np.ndarray) -> np.ndarray | None:
+    arena = _arena._ACTIVE
+    if arena is None or not x.flags.c_contiguous:
+        return None
+    return arena.take(x.shape, x.dtype)
+
+
+def _binary_out(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    arena = _arena._ACTIVE
+    if arena is None or a.dtype != b.dtype:
+        return None
+    if b.ndim == 0:
+        return arena.take(a.shape, a.dtype) if a.flags.c_contiguous else None
+    if a.ndim == 0:
+        return arena.take(b.shape, b.dtype) if b.flags.c_contiguous else None
+    if a.shape == b.shape and a.flags.c_contiguous and b.flags.c_contiguous:
+        return arena.take(a.shape, a.dtype)
+    return None  # broadcast / mixed layouts: let numpy shape it
+
+
+def _matmul_out(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    arena = _arena._ACTIVE
+    if arena is None or a.dtype != b.dtype or a.ndim < 2 or b.ndim < 2:
+        return None
+    batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    return arena.take(batch + (a.shape[-2], b.shape[-1]), a.dtype)
+
+
 class Tensor:
     """A numpy-backed array node in a dynamic autograd graph."""
 
@@ -219,6 +275,33 @@ class Tensor:
     # Graph construction
     # ------------------------------------------------------------------
     @staticmethod
+    def _from_array(data) -> "Tensor":
+        """Slim constructor for op results: no grad, no graph, no re-coerce.
+
+        Every no-grad fast path funnels through here.  ``data`` is the raw
+        result of a numpy op on existing tensor data, so the expensive
+        ``np.asarray`` round-trip of ``__init__`` is skipped; the dtype
+        normalisation of :func:`_as_array` is preserved (integer results
+        promote, floats recast only under a non-float64 default).
+        """
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data)
+        if data.dtype is not _DEFAULT_DTYPE:
+            kind = data.dtype.kind
+            if kind in "iub":
+                data = data.astype(_DEFAULT_DTYPE)
+            elif kind == "f" and _DEFAULT_DTYPE is not _FLOAT64 and data.dtype != _DEFAULT_DTYPE:
+                data = data.astype(_DEFAULT_DTYPE)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        out.name = ""
+        return out
+
+    @staticmethod
     def _make(
         data: np.ndarray,
         parents: Sequence["Tensor"],
@@ -230,8 +313,9 @@ class Tensor:
         each parent's ``grad``.
         """
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        out = Tensor._from_array(data)
         if requires:
+            out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward and (lambda out=out: backward(out))
         return out
@@ -323,6 +407,9 @@ class Tensor:
 
     def __add__(self, other) -> "Tensor":
         other = self._coerce_like(other)
+        if not _GRAD_ENABLED:
+            a, b = self.data, other.data
+            return Tensor._from_array(np.add(a, b, out=_binary_out(a, b)))
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad)
@@ -339,6 +426,9 @@ class Tensor:
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce_like(other)
+        if not _GRAD_ENABLED:
+            a, b = self.data, other.data
+            return Tensor._from_array(np.subtract(a, b, out=_binary_out(a, b)))
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad)
@@ -351,6 +441,9 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce_like(other)
+        if not _GRAD_ENABLED:
+            a, b = self.data, other.data
+            return Tensor._from_array(np.multiply(a, b, out=_binary_out(a, b)))
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad * other.data, own=True)
@@ -362,6 +455,9 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce_like(other)
+        if not _GRAD_ENABLED:
+            a, b = self.data, other.data
+            return Tensor._from_array(np.divide(a, b, out=_binary_out(a, b)))
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad / other.data, own=True)
@@ -373,6 +469,9 @@ class Tensor:
         return self._coerce_like(other) / self
 
     def __neg__(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.negative(self.data, out=_unary_out(self.data)))
+
         def backward(out: Tensor) -> None:
             Tensor._accum(self, -out.grad, own=True)
 
@@ -381,6 +480,8 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(self.data ** exponent)
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad * exponent * self.data ** (exponent - 1), own=True)
@@ -404,6 +505,8 @@ class Tensor:
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.exp(self.data, out=_unary_out(self.data)))
         result = np.exp(self.data)
 
         def backward(out: Tensor) -> None:
@@ -412,12 +515,17 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def log(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.log(self.data, out=_unary_out(self.data)))
+
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad / self.data, own=True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
     def sqrt(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.sqrt(self.data, out=_unary_out(self.data)))
         result = np.sqrt(self.data)
 
         def backward(out: Tensor) -> None:
@@ -426,12 +534,17 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def abs(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.abs(self.data, out=_unary_out(self.data)))
+
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad * np.sign(self.data), own=True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
     def tanh(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.tanh(self.data, out=_unary_out(self.data)))
         result = np.tanh(self.data)
 
         def backward(out: Tensor) -> None:
@@ -440,6 +553,15 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            # Same IEEE op sequence as the graph path, chained in one
+            # (arena-reusable) buffer: clip -> negate -> exp -> +1 -> 1/x.
+            r = np.clip(self.data, -60.0, 60.0, out=_unary_out(self.data))
+            np.negative(r, out=r)
+            np.exp(r, out=r)
+            r += 1.0
+            np.divide(1.0, r, out=r)
+            return Tensor._from_array(r)
         result = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
 
         def backward(out: Tensor) -> None:
@@ -448,6 +570,8 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def relu(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.maximum(self.data, 0.0, out=_unary_out(self.data)))
         mask = self.data > 0
 
         def backward(out: Tensor) -> None:
@@ -457,8 +581,19 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         """LeakyReLU, the activation used throughout ST-HSL (paper σ(·))."""
+        if not _GRAD_ENABLED and 0.0 < negative_slope <= 1.0:
+            # max(x, slope*x) == x*where(x>0, 1, slope) for slope in (0, 1],
+            # multiply-by-1.0 being exact — one temp instead of two.  Slope
+            # 0 is excluded: 0*inf = NaN would poison the maximum, where
+            # the graph path's where() keeps the positive branch at x.
+            x = self.data
+            r = np.multiply(x, x.dtype.type(negative_slope), out=_unary_out(x))
+            np.maximum(r, x, out=r)
+            return Tensor._from_array(r)
         one = self.data.dtype.type(1.0)  # keep float32 graphs in float32
         factor = np.where(self.data > 0, one, self.data.dtype.type(negative_slope))
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.multiply(self.data, factor, out=factor))
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad * factor, own=True)
@@ -466,6 +601,8 @@ class Tensor:
         return Tensor._make(self.data * factor, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.clip(self.data, low, high, out=_unary_out(self.data)))
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(out: Tensor) -> None:
@@ -477,6 +614,9 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(self.data.sum(axis=axis, keepdims=keepdims))
+
         def backward(out: Tensor) -> None:
             grad = out.grad
             if axis is not None and not keepdims:
@@ -486,6 +626,8 @@ class Tensor:
         return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(self.data.mean(axis=axis, keepdims=keepdims))
         if axis is None:
             count = self.data.size
         else:
@@ -507,6 +649,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         result = self.data.max(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(result)
         # Shape of the result with reduced axes kept as size-1: broadcasts
         # against self.data for every axis/keepdims combination, including
         # axis=None on multi-dim inputs where all axes are reduced.
@@ -537,6 +681,8 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(self.data.reshape(shape))
 
         def backward(out: Tensor) -> None:
             Tensor._accum(self, out.grad.reshape(self.data.shape))
@@ -547,6 +693,8 @@ class Tensor:
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         axes = axes or None
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(self.data.transpose(axes) if axes else self.data.T)
 
         if axes is None:
             inverse = None
@@ -564,18 +712,27 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def expand_dims(self, axis: int) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.expand_dims(self.data, axis))
+
         def backward(out: Tensor) -> None:
             Tensor._accum(self, np.squeeze(out.grad, axis=axis))
 
         return Tensor._make(np.expand_dims(self.data, axis), (self,), backward)
 
     def squeeze(self, axis: int) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.squeeze(self.data, axis=axis))
+
         def backward(out: Tensor) -> None:
             Tensor._accum(self, np.expand_dims(out.grad, axis=axis))
 
         return Tensor._make(np.squeeze(self.data, axis=axis), (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(self.data[index])
+
         def backward(out: Tensor) -> None:
             if not self.requires_grad:
                 return
@@ -593,6 +750,8 @@ class Tensor:
 
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad with numpy-style ``pad_width`` (list of (before, after))."""
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(_padded(self.data, pad_width))
         slices = tuple(
             slice(before, before + dim) for (before, _after), dim in zip(pad_width, self.data.shape)
         )
@@ -608,6 +767,8 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce_like(other)
         a, b = self.data, other.data
+        if not _GRAD_ENABLED:
+            return Tensor._from_array(np.matmul(a, b, out=_matmul_out(a, b)))
 
         def backward(out: Tensor) -> None:
             grad = out.grad
@@ -656,10 +817,32 @@ class Tensor:
         return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 
 
+def _padded(data: np.ndarray, pad_width) -> np.ndarray:
+    """Zero-pad into an arena buffer when one is active, else ``np.pad``.
+
+    Written as full-fill + interior copy; identical values to ``np.pad``
+    (zeros are exact) but the workspace is reusable across calls.  Only
+    for C-contiguous inputs — ``np.pad`` preserves the input's memory
+    order, and layout must match the graph path exactly (see the arena
+    helper notes above).
+    """
+    arena = _arena._ACTIVE
+    if arena is None or not data.flags.c_contiguous:
+        return np.pad(data, pad_width)
+    out_shape = tuple(dim + before + after for (before, after), dim in zip(pad_width, data.shape))
+    buffer = arena.take(out_shape, data.dtype)
+    buffer.fill(0)
+    interior = tuple(slice(before, before + dim) for (before, _), dim in zip(pad_width, data.shape))
+    buffer[interior] = data
+    return buffer
+
+
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.concatenate`` over a sequence of tensors."""
     tensors = list(tensors)
     datas = [t.data for t in tensors]
+    if not _GRAD_ENABLED:
+        return Tensor._from_array(np.concatenate(datas, axis=axis))
     sizes = [d.shape[axis] for d in datas]
     offsets = np.cumsum([0] + sizes)
 
@@ -675,6 +858,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.stack``."""
     tensors = list(tensors)
+    if not _GRAD_ENABLED:
+        return Tensor._from_array(np.stack([t.data for t in tensors], axis=axis))
 
     def backward(out: Tensor) -> None:
         grads = np.split(out.grad, len(tensors), axis=axis)
@@ -689,6 +874,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = Tensor._coerce(a)
     b = Tensor._coerce(b)
     condition = np.asarray(condition)
+    if not _GRAD_ENABLED:
+        return Tensor._from_array(np.where(condition, a.data, b.data))
 
     def backward(out: Tensor) -> None:
         Tensor._accum(a, out.grad * condition, own=True)

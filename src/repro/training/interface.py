@@ -4,6 +4,11 @@ A forecasting model maps a normalised history window ``(R, W, C)`` to a
 normalised next-day prediction ``(R, C)``.  The trainer only relies on
 ``training_loss`` and ``predict``, so models are free to add auxiliary
 objectives (ST-HSL's self-supervision) by overriding ``training_loss``.
+
+Inference runs graph-free: ``predict``/``predict_batch`` execute under
+:class:`~repro.nn.tensor.no_grad` with a per-model
+:class:`~repro.nn.BufferArena`, so repeated calls reuse one pool of
+preallocated op buffers instead of re-allocating every intermediate.
 """
 
 from __future__ import annotations
@@ -28,7 +33,25 @@ class ForecastModel(nn.Module):
         return F.mse_loss(self.forward(window), target, reduction="mean")
 
     def predict(self, window: np.ndarray) -> np.ndarray:
-        """Inference without graph construction."""
+        """Inference without graph construction or per-call allocations."""
         self.eval()
-        with nn.no_grad():
+        with nn.no_grad(), nn.use_arena(self._inference_arena()):
+            # Copy: the output may live in an arena buffer that is recycled
+            # as soon as the scope exits.
             return self.forward(window).data.copy()
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Batched inference: ``(B, R, W, C)`` in, ``(B, R, C)`` out.
+
+        Models implementing ``forward_batch`` run the whole stack in one
+        vectorized pass; others fall back to per-sample :meth:`predict`
+        calls — one arena scope per window, so retained buffers stay
+        bounded by a single forward's working set however large the
+        stack.
+        """
+        forward_batch = getattr(self, "forward_batch", None)
+        if forward_batch is None:
+            return np.stack([self.predict(w) for w in np.asarray(windows)])
+        self.eval()
+        with nn.no_grad(), nn.use_arena(self._inference_arena()):
+            return forward_batch(windows).data.copy()

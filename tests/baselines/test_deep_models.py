@@ -132,15 +132,24 @@ class TestSignatureMechanisms:
         assert np.allclose(weights.data.sum(axis=1), 1.0)
 
 
-class TestSTGCNBatched:
-    """STGCN implements the batched duck type (training_loss_batch /
-    predict_batch), putting it on the trainer's vectorized path."""
+BATCHED_BASELINES = ["STGCN", "DeepCrime", "GWN", "DCRNN"]
 
-    def _model(self, seed=0):
-        return build_baseline("STGCN", DATASET, window=WINDOW, hidden=8, seed=seed)
 
-    def test_predict_batch_matches_per_sample(self):
-        model = self._model()
+@pytest.mark.parametrize("name", BATCHED_BASELINES)
+class TestBatchedBaselines:
+    """The baselines implementing the batched duck type
+    (``training_loss_batch``/``predict_batch``) run on the trainer's
+    vectorized path and must match their own per-sample execution exactly
+    (the contract ST-HSL's equivalence suite locks in tests/core)."""
+
+    def _model(self, name, seed=0):
+        return build_baseline(name, DATASET, window=WINDOW, hidden=8, seed=seed)
+
+    def test_registry_records_capability(self, name):
+        assert REGISTRY.spec(name).supports_batching
+
+    def test_predict_batch_matches_per_sample(self, name):
+        model = self._model(name)
         rng = np.random.default_rng(3)
         batch = rng.standard_normal((5, DATASET.num_regions, WINDOW, DATASET.num_categories))
         stacked = model.predict_batch(batch)
@@ -148,36 +157,37 @@ class TestSTGCNBatched:
         assert stacked.shape == (5, 16, 4)
         assert np.allclose(stacked, singles, atol=1e-12)
 
-    def test_batched_loss_is_mean_of_per_sample_losses(self):
-        model = self._model()
+    def test_batched_loss_is_mean_of_per_sample_losses(self, name):
+        model = self._model(name)
         rng = np.random.default_rng(4)
         windows = rng.standard_normal((3, DATASET.num_regions, WINDOW, DATASET.num_categories))
         targets = rng.standard_normal((3, DATASET.num_regions, DATASET.num_categories))
-        model.eval()  # STGCN has no dropout, but keep the paths aligned
+        model.eval()  # none of these use dropout, but keep the paths aligned
         batched = float(model.training_loss_batch(windows, targets).data)
         singles = [float(model.training_loss(w, t).data) for w, t in zip(windows, targets)]
         assert batched == pytest.approx(np.mean(singles), rel=1e-12)
 
-    def test_batched_gradients_match_accumulated(self):
+    def test_batched_gradients_match_accumulated(self, name):
         rng = np.random.default_rng(5)
         windows = rng.standard_normal((4, DATASET.num_regions, WINDOW, DATASET.num_categories))
         targets = rng.standard_normal((4, DATASET.num_regions, DATASET.num_categories))
 
-        batched = self._model()
+        batched = self._model(name)
         loss = batched.training_loss_batch(windows, targets)
         loss.backward()
 
-        sequential = self._model()
+        sequential = self._model(name)
         for w, t in zip(windows, targets):
             sequential.training_loss(w, t).backward()
 
-        for (name, p_batched), (_, p_seq) in zip(
+        for (p_name, p_batched), (_, p_seq) in zip(
             batched.named_parameters(), sequential.named_parameters()
         ):
-            assert np.allclose(p_batched.grad, p_seq.grad / len(windows), atol=1e-10), name
+            assert p_seq.grad is not None, f"{name}: no grad for {p_name}"
+            assert np.allclose(p_batched.grad, p_seq.grad / len(windows), atol=1e-10), p_name
 
-    def test_trainer_autodetects_batched_path(self):
+    def test_trainer_autodetects_batched_path(self, name):
         from repro.training import Trainer
 
-        trainer = Trainer(self._model(), batch_size=4)
+        trainer = Trainer(self._model(name), batch_size=4)
         assert trainer.use_batched

@@ -172,3 +172,35 @@ class TestSerialization:
         nn.save_module(a, path)
         nn.load_module(b, path)
         assert np.allclose(a.predict(window), b.predict(window))
+
+
+class TestNodeCacheLifecycle:
+    """loss() consumes the node cache written by forward; arena-backed
+    inference must invalidate it rather than leave a stale alias."""
+
+    def test_loss_works_under_plain_no_grad(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        model.eval()
+        with nn.no_grad():
+            out = model(_window(cfg))
+            loss = model.loss(out, _target(cfg))
+        assert np.isfinite(float(loss.total.data))
+
+    def test_arena_predict_invalidates_cache(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        model.train()
+        out = model(_window(cfg))  # populates the cache on the grad path
+        model.predict(_window(cfg, seed=3))  # arena-backed: must invalidate
+        with pytest.raises(RuntimeError, match="forward"):
+            model.loss(out, _target(cfg))
+
+    def test_training_after_predict_recovers(self):
+        cfg = _cfg()
+        model = STHSL(cfg, seed=0)
+        model.predict(_window(cfg))
+        model.train()
+        loss = model.training_loss(_window(cfg), _target(cfg))
+        loss.backward()
+        assert float(loss.data) > 0

@@ -1,12 +1,16 @@
-"""Smoke test for the tracked perf harness (tier-1, < 30 s).
+"""Smoke tests for the tracked perf harness (tier-1, < 30 s).
 
 Runs one tiny throughput measurement through the same code path as
-``benchmarks/perf/run_all.py`` and validates the ``BENCH_perf.json``
-schema, so schema or harness breakage is caught by the default suite
-rather than at the next manual bench run.
+``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v2``
+schema (training + inference sections), so schema or harness breakage is
+caught by the default suite rather than at the next manual bench run.
+Also guards the *committed* ``BENCH_perf.json`` against regression: if a
+future bench run lands numbers below the trajectory recorded by earlier
+PRs, the suite fails instead of silently shipping a slowdown.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -18,6 +22,25 @@ from repro.analysis import (
 )
 from repro.analysis.experiment import ExperimentBudget
 from repro.data import load_city
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# Regression floors for the committed BENCH_perf.json: the speedups each
+# earlier PR recorded on this container, less ~10% timing-noise margin.
+# A bench re-run that lands below a floor is a real regression, not noise.
+TRACKED_SPEEDUP_FLOORS = {
+    "training": {
+        "batched_top_vs_seed": 2.9,  # PR 1: 3.24x
+        "batched_top_float32_vs_seed": 4.6,  # PR 2: 5.11x
+    },
+    "inference": {
+        "batched_vs_graph": 2.0,  # PR 3: 2.3x (float64)
+        # PR 3 acceptance: the fast path >= 3x vs the graph-building
+        # predict baseline (float32 serving mode, like the training
+        # headline batched_top_float32_vs_seed).
+        "batched_float32_vs_graph": 3.0,
+    },
+}
 
 
 @pytest.mark.perf_smoke
@@ -32,17 +55,28 @@ def test_perf_smoke(tmp_path):
         include_float32=True,
         seed_reference={"commit": "162b557", "epoch_seconds": 1.0},
         fast_alloc=False,  # leave the test runner's allocator untouched
+        inference_windows=6,
+        inference_batch=3,
     )
 
     validate_perf_payload(payload)
     assert payload["schema"] == PERF_SCHEMA
-    modes = {(e["mode"], e["dtype"], e["batch_size"]) for e in payload["modes"]}
-    assert ("sequential", "float64", 2) in modes
-    assert ("batched", "float64", 1) in modes
-    assert ("batched", "float64", 2) in modes
-    assert ("batched", "float32", 2) in modes
-    assert all(e["windows_per_sec"] > 0 for e in payload["modes"])
-    assert "batched_top_vs_seed" in payload["speedups"]
+    training = {(e["mode"], e["dtype"], e["batch_size"]) for e in payload["training"]["modes"]}
+    assert ("sequential", "float64", 2) in training
+    assert ("batched", "float64", 1) in training
+    assert ("batched", "float64", 2) in training
+    assert ("batched", "float32", 2) in training
+    assert all(e["windows_per_sec"] > 0 for e in payload["training"]["modes"])
+    assert "batched_top_vs_seed" in payload["training"]["speedups"]
+
+    inference = {(e["path"], e["batch_size"]) for e in payload["inference"]["modes"]}
+    assert ("graph", 1) in inference
+    assert ("no_grad", 1) in inference
+    assert ("batched", 3) in inference
+    assert payload["inference"]["num_windows"] == 6
+    assert all(e["predictions_per_sec"] > 0 for e in payload["inference"]["modes"])
+    for key in ("no_grad_vs_graph", "batched_vs_graph", "batched_vs_no_grad"):
+        assert key in payload["inference"]["speedups"]
 
     out = tmp_path / "BENCH_perf.json"
     write_perf_json(payload, out)
@@ -53,16 +87,62 @@ def test_perf_smoke(tmp_path):
 def test_perf_schema_rejects_malformed():
     with pytest.raises(ValueError):
         validate_perf_payload({"schema": "nope"})
+    with pytest.raises(ValueError, match="regenerate"):
+        validate_perf_payload({"schema": "repro.perf/v1"})  # pre-v2 payloads
+    with pytest.raises(ValueError):
+        validate_perf_payload({"schema": PERF_SCHEMA, "geometry": {}, "training": {}})
     with pytest.raises(ValueError):
         validate_perf_payload(
-            {"schema": PERF_SCHEMA, "geometry": {}, "modes": [], "speedups": {}}
+            {
+                "schema": PERF_SCHEMA,
+                "geometry": {},
+                "training": {"modes": [], "speedups": {}},
+                "inference": {"modes": [], "speedups": {}},
+            }
         )
     with pytest.raises(ValueError):
         validate_perf_payload(
             {
                 "schema": PERF_SCHEMA,
                 "geometry": {},
-                "modes": [{"mode": "batched", "dtype": "float64"}],
-                "speedups": {},
+                "training": {
+                    "modes": [{"mode": "batched", "dtype": "float64"}],
+                    "speedups": {"x": 1.0},
+                },
+                "inference": {
+                    "modes": [
+                        {
+                            "path": "graph",
+                            "dtype": "float64",
+                            "batch_size": 1,
+                            "seconds": 1.0,
+                            "predictions_per_sec": 1.0,
+                        }
+                    ],
+                    "speedups": {"x": 1.0},
+                },
             }
         )
+
+
+@pytest.mark.perf_smoke
+def test_committed_bench_matches_v2_schema():
+    """The checked-in BENCH_perf.json must always parse as current schema."""
+    payload = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    validate_perf_payload(payload)
+
+
+@pytest.mark.perf_smoke
+def test_committed_bench_speedups_hold_the_trajectory():
+    """Regression guard: committed speedups may not drop below the floors
+    recorded by earlier PRs (ROADMAP Performance trajectory)."""
+    payload = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    for section, floors in TRACKED_SPEEDUP_FLOORS.items():
+        speedups = payload[section]["speedups"]
+        for key, floor in floors.items():
+            assert key in speedups, f"{section}.{key} missing from BENCH_perf.json"
+            assert speedups[key] >= floor, (
+                f"{section}.{key} = {speedups[key]}x dropped below the tracked "
+                f"floor {floor}x — a perf regression (or a bench run on a "
+                "different machine; re-measure the seed reference if so)"
+            )
