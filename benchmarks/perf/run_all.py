@@ -1,13 +1,17 @@
-"""Tracked perf benchmark: training and inference throughput.
+"""Tracked perf benchmark: training, inference and serving throughput.
 
 Measures, on the reduced-scale benchmark geometry (6x6 regions x 100
 days, the DESIGN.md §5 protocol): training windows/sec and epoch
 wall-clock for ST-HSL at batch sizes {1, 4, 16} plus the per-sample
-fallback path and the float32 compute mode; and inference
-predictions/sec for the graph-building forward, the per-sample no-grad
-fast path, and the batched fast path under a reusable buffer arena.
-Writes ``BENCH_perf.json`` (schema ``repro.perf/v2``) at the repo root
-so future PRs have a perf trajectory to defend.
+fallback path and the float32 compute mode; inference predictions/sec
+for the graph-building forward, the per-sample no-grad fast path, and
+the batched fast path under a reusable buffer arena; and end-to-end
+serving requests/sec through ``repro.serving`` (pool + micro-batching
+service, float32 serving mode) at client concurrency 1/4/16, against
+sequential per-sample baselines on the graph path (the naive serving
+baseline) and the no-grad path.  Writes ``BENCH_perf.json`` (schema
+``repro.perf/v3``) at the repo root so future PRs have a perf
+trajectory to defend.
 
 Run from the repo root:
 
@@ -57,6 +61,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=5, help="best-of-N timing repetitions")
     parser.add_argument("--inference-windows", type=int, default=64)
     parser.add_argument("--inference-batch", type=int, default=4)
+    parser.add_argument("--serving-concurrency", type=int, nargs="+", default=[1, 4, 16])
+    parser.add_argument("--serving-max-batch", type=int, default=4)
     parser.add_argument("--seed-seconds", type=float, default=SEED_REFERENCE["epoch_seconds"])
     parser.add_argument("--no-float32", action="store_true", help="skip the float32 mode column")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_perf.json")
@@ -77,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
         seed_reference=seed_reference,
         inference_windows=args.inference_windows,
         inference_batch=args.inference_batch,
+        serving_concurrency=tuple(args.serving_concurrency),
+        serving_max_batch=args.serving_max_batch,
     )
     write_perf_json(payload, args.out)
 
@@ -96,7 +104,28 @@ def main(argv: list[str] | None = None) -> int:
     print(f"inference ({payload['inference']['num_windows']} windows)")
     print(format_table(headers, rows, float_format="{:.3f}"))
     print()
-    for section in ("training", "inference"):
+    serving = payload["serving"]
+    headers = ["Mode", "Concurrency", "Requests/s", "Mean batch", "p95 (ms)"]
+    rows = [
+        [f"sequential/{e['path']}", 1, e["requests_per_sec"], 1, "-"]
+        for e in serving["sequential"]
+    ] + [
+        [
+            "service",
+            e["concurrency"],
+            e["requests_per_sec"],
+            e["mean_batch"],
+            e["latency_p95_ms"],
+        ]
+        for e in serving["service"]
+    ]
+    print(
+        f"serving ({serving['num_requests']} requests, max_batch="
+        f"{serving['max_batch']}, served_dtype={serving['artifact']['served_dtype']})"
+    )
+    print(format_table(headers, rows, float_format="{:.2f}"))
+    print()
+    for section in ("training", "inference", "serving"):
         for name, value in payload[section]["speedups"].items():
             print(f"{section}.{name}: {value:.2f}x")
     print(f"\nwrote {args.out}")

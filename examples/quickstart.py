@@ -1,12 +1,14 @@
-"""Quickstart: train ST-HSL on synthetic NYC crime data and evaluate it.
+"""Quickstart: train ST-HSL on synthetic NYC crime data, evaluate, serve.
 
 Runs in about a minute on a laptop.  Walks the unified ``repro.api``
-surface:
+surface plus the serving layer on top of it:
 
 1. build a reduced-scale dataset calibrated to the paper's NYC statistics,
 2. fit a :class:`repro.api.Forecaster` (model + trainer + budget in one),
 3. evaluate per-category masked MAE / MAPE on the held-out test days,
-4. save a versioned checkpoint artifact and reload it from the file alone.
+4. save a versioned checkpoint artifact and reload it from the file alone,
+5. serve the artifact through a :class:`repro.serving.ForecastService`
+   (model pool, float32 serving mode, cross-request micro-batching).
 
 Usage::
 
@@ -17,12 +19,15 @@ from pathlib import Path
 
 from repro.api import ExperimentBudget, Forecaster
 from repro.data import load_city
+from repro.serving import ForecastService, ModelPool
 
 
-def main() -> None:
-    # 1. Data: an 8x8 grid over NYC, ~5 months of synthetic crime reports
+def main(rows: int = 8, cols: int = 8, num_days: int = 150,
+         epochs: int = 5, train_limit: int | None = 40) -> None:
+    """Train, evaluate, checkpoint and serve ST-HSL at the given scale."""
+    # 1. Data: a grid over NYC, ~5 months of synthetic crime reports
     #    whose sparsity/skew match the paper's Figure 1 / Figure 2.
-    dataset = load_city("nyc", rows=8, cols=8, num_days=150, seed=0)
+    dataset = load_city("nyc", rows=rows, cols=cols, num_days=num_days, seed=0)
     print(f"dataset: {dataset.num_regions} regions x {dataset.num_days} days "
           f"x {dataset.num_categories} categories")
     print(f"category totals: {dataset.category_totals()}")
@@ -32,7 +37,9 @@ def main() -> None:
     #    (dim 8; the builder's bench-scale default of 32 hyperedges).
     forecaster = Forecaster(
         "ST-HSL",
-        budget=ExperimentBudget(window=14, epochs=5, train_limit=40, patience=3, seed=0),
+        budget=ExperimentBudget(
+            window=14, epochs=epochs, train_limit=train_limit, patience=3, seed=0
+        ),
         hidden=8,
     )
     forecaster.fit(dataset, verbose=True)
@@ -56,6 +63,19 @@ def main() -> None:
     history = dataset.tensor[:, -15:-1, :]  # last 14 days of raw counts
     assert (forecaster.predict(history) == clone.predict(history)).all()
     print(f"\nartifact round-trip OK -> {path}")
+
+    # 5. Serving: the pool reloads the artifact in the float32 serving
+    #    mode; the service coalesces concurrent predict requests into
+    #    micro-batches through the graph-free fast path.
+    pool = ModelPool(capacity=2, served_dtype="float32")
+    with ForecastService(pool.get(path), max_batch=8) as service:
+        counts = service.predict_many(
+            [dataset.tensor[:, t - 14 : t, :] for t in range(num_days - 8, num_days)]
+        )
+        stats = service.stats()
+    print(f"served {stats.requests} requests "
+          f"({stats.requests_per_sec:.0f} req/s, mean batch {stats.mean_batch:.1f}); "
+          f"next-day citywide expectation {counts[-1].sum():.1f} cases")
     path.unlink()
 
 

@@ -6,7 +6,8 @@ Data Historic schema, then treats it as a real download:
 
 1. parse the portal CSV (schema quirks, dirty rows and all),
 2. build a CrimeDataset via ``dataset_from_events``,
-3. train ST-HSL on it and report test metrics.
+3. fit a :class:`repro.api.Forecaster` on it — the same registry API the
+   synthetic quickstart uses — and report test metrics.
 
 Usage::
 
@@ -17,7 +18,7 @@ import csv
 import tempfile
 from pathlib import Path
 
-from repro.core import STHSL, STHSLConfig
+from repro.api import ExperimentBudget, Forecaster
 from repro.data import (
     NYC_CONFIG,
     ParseReport,
@@ -25,7 +26,6 @@ from repro.data import (
     dataset_from_events,
     parse_nyc_complaints,
 )
-from repro.training import Trainer, WindowDataset, evaluate_model
 
 REVERSE_OFFENSE = {
     "Burglary": "BURGLARY",
@@ -59,8 +59,10 @@ def fabricate_portal_export(path: Path, config) -> int:
     return len(events) + 3
 
 
-def main() -> None:
-    config = NYC_CONFIG.scaled(rows=6, cols=6, num_days=120)
+def main(rows: int = 6, cols: int = 6, num_days: int = 120,
+         epochs: int = 3, train_limit: int | None = 24) -> None:
+    """Parse a portal export, assemble a dataset, fit and evaluate ST-HSL."""
+    config = NYC_CONFIG.scaled(rows=rows, cols=cols, num_days=num_days)
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "nypd_complaints.csv"
@@ -82,15 +84,17 @@ def main() -> None:
     dataset = dataset_from_events(events, config)
     print(f"dataset tensor: {dataset.tensor.shape}, cases={int(dataset.tensor.sum()):,}")
 
-    # 3. Train and evaluate ST-HSL exactly as with synthetic data.
-    model_config = STHSLConfig(
-        rows=config.rows, cols=config.cols, num_categories=4,
-        window=14, dim=8, num_hyperedges=32, num_global_temporal_layers=2,
+    # 3. Fit exactly as with synthetic data: the registry resolves the
+    #    model, the Forecaster owns training and normalization.
+    forecaster = Forecaster(
+        "ST-HSL",
+        budget=ExperimentBudget(
+            window=14, epochs=epochs, train_limit=train_limit, seed=0
+        ),
+        hidden=8,
     )
-    model = STHSL(model_config, seed=0)
-    windows = WindowDataset(dataset, window=14)
-    Trainer(model, lr=1e-3, seed=0).fit(windows, epochs=3, train_limit=24, verbose=True)
-    evaluation = evaluate_model(model, windows)
+    forecaster.fit(dataset, verbose=True)
+    evaluation = forecaster.evaluate(dataset)
     print("\ntest metrics (masked):")
     for category, metrics in evaluation.per_category().items():
         print(f"  {category:10s} MAE={metrics['mae']:.4f}  MAPE={metrics['mape']:.4f}")

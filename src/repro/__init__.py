@@ -5,6 +5,8 @@ Public entry points:
 
 * :mod:`repro.api` — the unified public surface: model registry,
   ``Forecaster`` estimator, versioned checkpoint artifacts, run specs.
+* :mod:`repro.serving` — the forecast service layer: model pool,
+  cross-request micro-batching service, region-shard router.
 * :mod:`repro.nn` — numpy autograd / neural-network substrate.
 * :mod:`repro.data` — crime-data pipeline (synthetic generators calibrated
   to the paper's NYC and Chicago datasets, grid segmentation,
@@ -15,6 +17,6 @@ Public entry points:
 * :mod:`repro.analysis` — ablations, sweeps, interpretation, efficiency.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["api", "nn", "data", "core", "baselines", "training", "analysis"]
+__all__ = ["api", "serving", "nn", "data", "core", "baselines", "training", "analysis"]

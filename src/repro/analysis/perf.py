@@ -1,9 +1,9 @@
-"""Training/inference throughput measurement (the tracked perf suite).
+"""Training/inference/serving throughput measurement (the tracked perf suite).
 
 ST-HSL's efficiency study (paper Table V) compares architectures; this
 module instead tracks *our implementation's* throughput over time so
-every PR can defend a perf trajectory.  Schema ``repro.perf/v2`` records
-two sections:
+every PR can defend a perf trajectory.  Schema ``repro.perf/v3`` records
+three sections:
 
 * ``training`` — windows/sec and epoch wall-clock for the batched
   execution path at several batch sizes, the per-sample fallback path,
@@ -12,7 +12,16 @@ two sections:
   graph-building forward (what a naive ``predict`` costs: autograd
   closures + parent tracking per op), the per-sample no-grad fast path,
   and the batched fast path under a reusable
-  :class:`~repro.nn.BufferArena`.
+  :class:`~repro.nn.BufferArena`;
+* ``serving`` (new in v3) — end-to-end requests/sec through a
+  :class:`~repro.serving.ForecastService` at several client
+  concurrencies, against two sequential per-sample baselines: the
+  ``graph`` path (the naive serving baseline: what a pre-fast-path
+  ``predict`` loop cost) and the ``no_grad`` path (today's per-sample
+  ``Forecaster.predict`` loop).  The service loads the artifact through
+  a :class:`~repro.serving.ModelPool` in the float32 serving mode, so
+  its margin over the baselines is the serving stack's contribution:
+  served dtype + cross-request micro-batching + load amortisation.
 
 Entry point: ``benchmarks/perf/run_all.py``; a tier-1 smoke test
 (``pytest -m perf_smoke``) validates the schema on a tiny geometry and
@@ -23,7 +32,10 @@ from __future__ import annotations
 
 import ctypes
 import json
+import tempfile
+import threading
 import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -35,18 +47,23 @@ from .experiment import ExperimentBudget, make_sthsl
 
 __all__ = [
     "PERF_SCHEMA",
+    "drive_clients",
     "enable_fast_alloc",
     "measure_perf",
     "measure_inference",
+    "measure_serving",
     "validate_perf_payload",
     "write_perf_json",
 ]
 
-PERF_SCHEMA = "repro.perf/v2"
+PERF_SCHEMA = "repro.perf/v3"
 
 _REQUIRED_TRAINING_KEYS = {"mode", "dtype", "batch_size", "epoch_seconds", "windows_per_sec"}
 _REQUIRED_INFERENCE_KEYS = {"path", "dtype", "batch_size", "seconds", "predictions_per_sec"}
+_REQUIRED_SEQUENTIAL_KEYS = {"path", "dtype", "requests_per_sec"}
+_REQUIRED_SERVICE_KEYS = {"concurrency", "requests_per_sec", "mean_batch"}
 _INFERENCE_PATHS = ("graph", "no_grad", "batched")
+_SEQUENTIAL_PATHS = ("graph", "no_grad")
 
 
 def enable_fast_alloc() -> bool:
@@ -161,6 +178,154 @@ def measure_inference(
     return entries, speedups, seconds
 
 
+def drive_clients(service, windows, clients: int) -> float:
+    """Issue each window once through ``service`` from concurrent clients.
+
+    The windows are split round-robin across ``clients`` blocking client
+    threads (every thread gets a non-empty share as long as
+    ``clients <= len(windows)``), so the service really sees the stated
+    concurrency.  Returns elapsed wall-clock seconds; the service's own
+    counters (``service.stats()``) accumulate alongside.  Shared by the
+    perf harness and the CLI ``serve`` demo.
+    """
+    chunks = [windows[i::clients] for i in range(clients)]
+    threads = [
+        threading.Thread(
+            target=lambda chunk: [service.predict(w) for w in chunk],
+            args=(chunk,),
+        )
+        for chunk in chunks
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def measure_serving(
+    artifact_path: str | Path,
+    windows: np.ndarray,
+    concurrency: Sequence[int] = (1, 4, 16),
+    max_batch: int = 4,
+    served_dtype: str | None = "float32",
+    reps: int = 3,
+) -> dict:
+    """Requests/sec through the serving stack vs sequential baselines.
+
+    ``windows`` is a stacked ``(N, R, W, C)`` array of raw-count request
+    windows; every run issues each window once (so all modes do identical
+    work).  Three measurements:
+
+    * ``sequential.graph`` — a per-sample loop through the graph-building
+      forward: the naive serving baseline (what serving cost before the
+      no-grad fast path existed);
+    * ``sequential.no_grad`` — a per-sample ``Forecaster.predict`` loop
+      on the artifact as a plain client would load it (native dtype);
+    * ``service`` — a :class:`~repro.serving.ForecastService` over a
+      :class:`~repro.serving.ModelPool` entry (float32 serving mode),
+      driven by ``k`` concurrent clients for each ``k`` in
+      ``concurrency``; clients block per request, so the coalesced batch
+      is bounded by the concurrency.
+
+    Returns the ``serving`` payload section; headline speedups compare
+    the concurrency-4 service against both baselines.  Example::
+
+        serving = measure_serving("model.npz", stacked, concurrency=(1, 4))
+        print(serving["speedups"]["service_conc4_vs_sequential"])
+    """
+    from ..api import Forecaster
+    from ..serving import ForecastService, ModelPool
+
+    windows = np.asarray(windows, dtype=float)
+    num_requests = len(windows)
+
+    # Baseline client: loads the artifact itself, native dtype, and
+    # loops predict per sample.
+    baseline = Forecaster.load(artifact_path)
+    model = baseline.model
+    mu, sigma = baseline.mu, baseline.sigma
+    model.eval()
+
+    def run_graph() -> None:
+        for window in windows:
+            out = model.forward((window - mu) / sigma)
+            prediction = getattr(out, "prediction", out)  # STHSL returns a bundle
+            np.maximum(prediction.data * sigma + mu, 0.0)
+
+    def run_no_grad() -> None:
+        for window in windows:
+            baseline.predict(window)
+
+    sequential = []
+    seconds: dict[str, float] = {}
+    for path, fn in (("graph", run_graph), ("no_grad", run_no_grad)):
+        elapsed = _timed_call(fn, reps)
+        seconds[path] = elapsed
+        sequential.append(
+            {
+                "path": path,
+                "dtype": "float64",
+                "requests_per_sec": round(num_requests / elapsed, 2),
+            }
+        )
+
+    pool = ModelPool(capacity=2, served_dtype=served_dtype)
+    served = pool.get(artifact_path)
+    service_entries = []
+    service_rps: dict[int, float] = {}
+    with ForecastService(served, max_batch=max_batch) as service:
+        service.predict(windows[0])  # warm the arena before timing
+        for requested in concurrency:
+            # Round-robin sharing keeps every client thread non-empty, so
+            # the recorded concurrency is the concurrency that actually
+            # ran; with fewer requests than clients the entry is labelled
+            # with the effective client count.
+            clients = min(requested, num_requests)
+
+            def run_clients() -> dict:
+                service.reset_stats()
+                elapsed = drive_clients(service, windows, clients)
+                return {"elapsed": elapsed, "stats": service.stats()}
+
+            best = min((run_clients() for _ in range(reps)), key=lambda r: r["elapsed"])
+            stats = best["stats"]
+            service_rps[clients] = num_requests / best["elapsed"]
+            service_entries.append(
+                {
+                    "concurrency": clients,
+                    "requests_per_sec": round(service_rps[clients], 2),
+                    "mean_batch": round(stats.mean_batch, 3),
+                    "latency_p50_ms": round(stats.latency_p50 * 1e3, 3),
+                    "latency_p95_ms": round(stats.latency_p95 * 1e3, 3),
+                }
+            )
+
+    headline = 4 if 4 in service_rps else max(service_rps)
+    low, high = min(service_rps), max(service_rps)
+    speedups = {
+        f"service_conc{headline}_vs_graph_baseline": round(
+            service_rps[headline] * seconds["graph"] / num_requests, 3
+        ),
+        f"service_conc{headline}_vs_sequential": round(
+            service_rps[headline] * seconds["no_grad"] / num_requests, 3
+        ),
+        f"service_conc{high}_vs_conc{low}": round(service_rps[high] / service_rps[low], 3),
+    }
+    return {
+        "num_requests": num_requests,
+        "max_batch": max_batch,
+        "artifact": {
+            "model": baseline.model_name,
+            "served_dtype": served.served_dtype,
+        },
+        "sequential": sequential,
+        "service": service_entries,
+        "speedups": speedups,
+    }
+
+
 def measure_perf(
     dataset: CrimeDataset,
     budget: ExperimentBudget,
@@ -171,6 +336,8 @@ def measure_perf(
     fast_alloc: bool = True,
     inference_windows: int = 64,
     inference_batch: int | None = None,
+    serving_concurrency: Sequence[int] = (1, 4, 16),
+    serving_max_batch: int = 4,
 ) -> dict:
     """Measure training and inference throughput across execution modes.
 
@@ -188,6 +355,11 @@ def measure_perf(
     process-wide glibc allocator for the rest of the process — pass
     ``False`` when measuring inside a host process (test runner,
     notebook) whose allocator behaviour should be left alone.
+
+    The serving section (see :func:`measure_serving`) reuses the
+    inference request windows: a temporary artifact is saved from the
+    bench model and served through the pool + service stack at each
+    ``serving_concurrency`` level.
     """
     if fast_alloc:
         enable_fast_alloc()
@@ -267,6 +439,32 @@ def measure_perf(
         )
         inference_speedups["batched_float32_vs_graph"] = round(graph_seconds / elapsed32, 3)
 
+    # ----- Serving section -----
+    # A self-describing artifact of the bench model, served through the
+    # pool + service stack against the same request windows (raw counts).
+    from ..api import Forecaster
+    from ..api.registry import ModelGeometry
+
+    serving_fc = Forecaster("ST-HSL", budget=budget, hidden=8)
+    serving_fc.geometry = ModelGeometry.of(dataset)
+    serving_fc.model = make_sthsl(dataset, budget)
+    serving_fc.mu = float(dataset.mu)
+    serving_fc.sigma = float(dataset.sigma)
+    serving_fc.categories = dataset.categories
+    raw_windows = np.stack(
+        [dataset.tensor[:, sample.day - budget.window : sample.day, :] for sample in samples]
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_path = Path(tmp) / "bench_model.npz"
+        serving_fc.save(artifact_path)
+        serving = measure_serving(
+            artifact_path,
+            raw_windows,
+            concurrency=tuple(serving_concurrency),
+            max_batch=serving_max_batch,
+            reps=reps,
+        )
+
     payload = {
         "schema": PERF_SCHEMA,
         "geometry": {
@@ -283,6 +481,7 @@ def measure_perf(
             "modes": inference_modes,
             "speedups": inference_speedups,
         },
+        "serving": serving,
     }
     if seed_reference is not None:
         payload["seed_reference"] = dict(seed_reference)
@@ -313,14 +512,42 @@ def _validate_section(section, name: str, required_keys: set, time_key: str, rat
         raise ValueError(f"{name}.speedups must be positive numbers")
 
 
+def _validate_serving(section) -> None:
+    if not isinstance(section, dict):
+        raise ValueError("serving must be a mapping")
+    for key in ("num_requests", "max_batch", "artifact", "sequential", "service", "speedups"):
+        if key not in section:
+            raise ValueError(f"serving missing key {key!r}")
+    if not isinstance(section["sequential"], list) or not section["sequential"]:
+        raise ValueError("serving.sequential must be a non-empty list")
+    for entry in section["sequential"]:
+        missing = _REQUIRED_SEQUENTIAL_KEYS - set(entry)
+        if missing:
+            raise ValueError(f"serving sequential entry missing keys {sorted(missing)}")
+        if entry["path"] not in _SEQUENTIAL_PATHS:
+            raise ValueError(f"unknown serving baseline path {entry['path']!r}")
+        if not entry["requests_per_sec"] > 0:
+            raise ValueError("serving baseline rates must be positive")
+    if not isinstance(section["service"], list) or not section["service"]:
+        raise ValueError("serving.service must be a non-empty list")
+    for entry in section["service"]:
+        missing = _REQUIRED_SERVICE_KEYS - set(entry)
+        if missing:
+            raise ValueError(f"serving service entry missing keys {sorted(missing)}")
+        if not entry["requests_per_sec"] > 0 or not entry["concurrency"] >= 1:
+            raise ValueError("serving service entries must have positive rates")
+    if not all(isinstance(v, (int, float)) and v > 0 for v in section["speedups"].values()):
+        raise ValueError("serving.speedups must be positive numbers")
+
+
 def validate_perf_payload(payload: dict) -> None:
-    """Raise ``ValueError`` if ``payload`` does not match the v2 perf schema."""
+    """Raise ``ValueError`` if ``payload`` does not match the v3 perf schema."""
     if payload.get("schema") != PERF_SCHEMA:
         raise ValueError(
             f"unexpected schema tag: {payload.get('schema')!r} (expected {PERF_SCHEMA}; "
-            "re-run benchmarks/perf/run_all.py to regenerate v1 payloads)"
+            "re-run benchmarks/perf/run_all.py to regenerate pre-v3 payloads)"
         )
-    for key in ("geometry", "training", "inference"):
+    for key in ("geometry", "training", "inference", "serving"):
         if key not in payload:
             raise ValueError(f"missing top-level key {key!r}")
     _validate_section(
@@ -335,6 +562,7 @@ def validate_perf_payload(payload: dict) -> None:
     for entry in payload["inference"]["modes"]:
         if entry["path"] not in _INFERENCE_PATHS:
             raise ValueError(f"unknown inference path {entry['path']!r}")
+    _validate_serving(payload["serving"])
 
 
 def write_perf_json(payload: dict, path) -> None:

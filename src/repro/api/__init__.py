@@ -10,10 +10,13 @@ serving layers) speak the same language:
 * **Forecaster estimator** — :class:`Forecaster` wraps model + trainer +
   budget behind ``fit`` / ``predict`` / ``evaluate`` / ``save`` / ``load``.
 * **Versioned artifacts** — checkpoints are single npz files with an
-  embedded JSON manifest (schema ``repro.artifact/v1``) carrying the model
-  name, build configuration, geometry, normalization statistics and
-  training metadata, so ``Forecaster.load`` needs the file and nothing
-  else.  See :mod:`repro.api.artifacts` for the manifest schema.
+  embedded JSON manifest (schema ``repro.artifact/v2``) carrying the model
+  name, build configuration, geometry, normalization statistics, training
+  metadata, the requested serving dtype and optional region-shard
+  metadata, so ``Forecaster.load`` needs the file and nothing else.
+  Older schemas upgrade transparently through :func:`migrate`.  See
+  :mod:`repro.api.artifacts` for the manifest schema, and
+  :mod:`repro.serving` for the serving layer built on this surface.
 
 Usage
 -----
@@ -50,7 +53,16 @@ Describe a whole run as serializable data::
     assert RunSpec.from_dict(payload) == spec
 """
 
-from .artifacts import ARTIFACT_SCHEMA, Artifact, ArtifactError, read_artifact, write_artifact
+from .artifacts import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_SCHEMA_V1,
+    Artifact,
+    ArtifactError,
+    migrate,
+    read_artifact,
+    register_migration,
+    write_artifact,
+)
 from .forecaster import Forecaster
 from .registry import REGISTRY, ModelGeometry, ModelRegistry, ModelSpec
 from .runspec import DataSpec, ExperimentBudget, RunSpec
@@ -65,8 +77,11 @@ __all__ = [
     "DataSpec",
     "RunSpec",
     "ARTIFACT_SCHEMA",
+    "ARTIFACT_SCHEMA_V1",
     "Artifact",
     "ArtifactError",
+    "migrate",
     "read_artifact",
+    "register_migration",
     "write_artifact",
 ]

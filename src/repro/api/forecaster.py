@@ -62,20 +62,27 @@ class Forecaster:
         self.sigma: float | None = None
         self.categories: tuple[str, ...] = ()
         self.training_: dict = {}
+        #: Compute dtype actually applied at load time (None = native).
+        self.served_dtype: str | None = None
+        #: Region-shard metadata carried by the loaded artifact, if any.
+        self.shard: dict | None = None
 
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
     @property
     def model_name(self) -> str:
+        """Registry name of the wrapped model."""
         return self.spec.name
 
     @property
     def window(self) -> int:
+        """History length (days) every prediction consumes."""
         return self.budget.window
 
     @property
     def is_fitted(self) -> bool:
+        """Whether ``fit``/``load`` has produced a servable model."""
         return self.model is not None and self.mu is not None
 
     def _require_fitted(self) -> None:
@@ -259,8 +266,24 @@ class Forecaster:
     # ------------------------------------------------------------------
     # Artifacts
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> dict:
-        """Write a versioned artifact; returns the manifest written."""
+    def save(
+        self,
+        path: str | Path,
+        *,
+        served_dtype: str | None = None,
+        shard: dict | None = None,
+    ) -> dict:
+        """Write a versioned artifact; returns the manifest written.
+
+        ``served_dtype`` records the compute dtype the artifact asks to
+        be served at (``"float32"`` is the serving mode — weights stay in
+        their trained dtype, :meth:`load` rebuilds the model in the
+        requested dtype); ``shard`` attaches region-shard metadata (see
+        :mod:`repro.serving.router`).  Both default to None — the plain
+        whole-grid, native-dtype artifact::
+
+            fc.save("model.npz", served_dtype="float32")
+        """
         self._require_fitted()
         return write_artifact(
             path,
@@ -277,16 +300,35 @@ class Forecaster:
             categories=self.categories,
             budget=self.budget.to_dict(),
             training=self.training_,
+            served_dtype=served_dtype,
+            shard=shard,
         )
 
     @classmethod
-    def load(cls, path: str | Path, registry: ModelRegistry = REGISTRY) -> "Forecaster":
+    def load(
+        cls,
+        path: str | Path,
+        registry: ModelRegistry = REGISTRY,
+        served_dtype: str | None = None,
+    ) -> "Forecaster":
         """Reconstruct a working forecaster from an artifact alone.
 
         The manifest supplies the model name, build configuration,
         geometry and normalization statistics; the npz payload supplies
-        the weights.  Raises :class:`~repro.api.ArtifactError` on bare
-        state-dict files or unknown schema versions.
+        the weights.  Pre-v2 artifacts upgrade transparently through the
+        registered migration chain (:func:`repro.api.artifacts.migrate`)
+        and predict bitwise-identically to the original loader.  Raises
+        :class:`~repro.api.ArtifactError` on bare state-dict files or
+        unknown schema versions.
+
+        ``served_dtype`` overrides the manifest's ``served_dtype`` field
+        (explicit argument > manifest > model native dtype).  Dtype
+        requests are best-effort: models whose builder does not accept a
+        ``compute_dtype`` override (most baselines) load at their native
+        dtype.  Example::
+
+            fc = Forecaster.load("model.npz", served_dtype="float32")
+            assert fc.served_dtype in ("float32", None)
         """
         artifact = read_artifact(path)
         build = artifact.build
@@ -300,16 +342,29 @@ class Forecaster:
         )
         geometry = ModelGeometry.from_dict(artifact.geometry)
         forecaster.geometry = geometry
-        forecaster.model = forecaster.spec.build(
-            geometry,
+        requested = served_dtype if served_dtype is not None else artifact.served_dtype
+        build_kwargs = dict(
             window=int(build["window"]),
             hidden=forecaster.hidden,
             seed=int(build.get("seed", 0)),
             **forecaster.overrides,
         )
+        forecaster.model = None
+        if requested is not None and "compute_dtype" not in forecaster.overrides:
+            try:
+                forecaster.model = forecaster.spec.build(
+                    geometry, compute_dtype=requested, **build_kwargs
+                )
+                forecaster.served_dtype = requested
+            except TypeError:
+                # The builder has no dtype knob — serve at native dtype.
+                forecaster.model = None
+        if forecaster.model is None:
+            forecaster.model = forecaster.spec.build(geometry, **build_kwargs)
         forecaster.model.load_state_dict(artifact.state)
         forecaster.mu = float(artifact.normalization["mu"])
         forecaster.sigma = float(artifact.normalization["sigma"])
         forecaster.categories = artifact.categories
         forecaster.training_ = dict(artifact.training)
+        forecaster.shard = artifact.shard
         return forecaster

@@ -50,7 +50,11 @@ class ModelGeometry:
     This is everything a builder needs — region adjacency is derived from
     the grid structure alone (it does not depend on geographic extent), so
     a geometry can be reconstructed from three integers in a checkpoint
-    manifest.
+    manifest.  Example::
+
+        geometry = ModelGeometry.of(dataset)          # or ModelGeometry(8, 8, 4)
+        model = REGISTRY.build("STGCN", geometry=geometry, window=14)
+        assert geometry == ModelGeometry.from_dict(geometry.to_dict())
     """
 
     rows: int
@@ -68,6 +72,7 @@ class ModelGeometry:
 
     @property
     def num_regions(self) -> int:
+        """Total region count (``rows * cols``)."""
         return self.rows * self.cols
 
     def grid(self) -> GridSegmentation:
@@ -79,16 +84,20 @@ class ModelGeometry:
         )
 
     def adjacency(self):
+        """Binary 8-neighbourhood region adjacency for this geometry."""
         return self.grid().adjacency_matrix()
 
     def normalized_adjacency(self):
+        """Degree-normalised adjacency (the graph baselines' operator)."""
         return self.grid().normalized_adjacency()
 
     def to_dict(self) -> dict:
+        """JSON-safe payload for checkpoint manifests."""
         return {"rows": self.rows, "cols": self.cols, "num_categories": self.num_categories}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ModelGeometry":
+        """Rebuild a geometry from a manifest payload."""
         return cls(
             rows=int(payload["rows"]),
             cols=int(payload["cols"]),
@@ -109,20 +118,42 @@ class ModelSpec:
     ``supports_batching`` — whether the model implements the batched duck
     type (``training_loss_batch``/``predict_batch``) so the trainer can run
     one vectorized step per batch instead of per-sample accumulation.
+    ``shardable`` — whether the model is meaningful to train and serve on
+    a row band of a larger grid (grid-/graph-local models and per-series
+    statistical methods; global-attention models lose their context when
+    sharded).  :class:`repro.serving.ShardRouter` refuses non-shardable
+    specs.  Example::
+
+        spec = REGISTRY.spec("ST-HSL")
+        assert spec.supports_batching and spec.shardable
     """
 
     name: str
     builder: Builder = field(repr=False)
     requires_training: bool = True
     supports_batching: bool = False
+    shardable: bool = False
     description: str = ""
 
     def build(self, geometry: ModelGeometry, window: int, hidden: int = 16, seed: int = 0, **overrides):
+        """Instantiate this spec's model for ``geometry``."""
         return self.builder(geometry, window=window, hidden=hidden, seed=seed, **overrides)
 
 
 class ModelRegistry:
-    """Name → :class:`ModelSpec` catalogue with decorator registration."""
+    """Name → :class:`ModelSpec` catalogue with decorator registration.
+
+    Consumers resolve model names through the process-wide
+    :data:`REGISTRY` instance; registering a new model makes it available
+    to the CLI, the benchmarks and the :class:`~repro.api.Forecaster`
+    at once::
+
+        @REGISTRY.register("MyModel", supports_batching=True)
+        def _build(geometry, *, window, hidden, seed, **overrides):
+            return MyModel(geometry.rows, geometry.cols, hidden, seed=seed)
+
+        model = REGISTRY.build("MyModel", geometry=geometry, window=14)
+    """
 
     def __init__(self) -> None:
         self._specs: dict[str, ModelSpec] = {}
@@ -136,6 +167,7 @@ class ModelRegistry:
         *,
         requires_training: bool = True,
         supports_batching: bool = False,
+        shardable: bool = False,
         description: str = "",
     ) -> Callable[[Builder], Builder]:
         """Decorator registering ``fn(geometry, *, window, hidden, seed, **ov)``."""
@@ -148,6 +180,7 @@ class ModelRegistry:
                 builder=builder,
                 requires_training=requires_training,
                 supports_batching=supports_batching,
+                shardable=shardable,
                 description=description,
             )
             return builder
@@ -158,6 +191,7 @@ class ModelRegistry:
     # Lookup
     # ------------------------------------------------------------------
     def spec(self, name: str) -> ModelSpec:
+        """The :class:`ModelSpec` registered under ``name`` (KeyError if absent)."""
         try:
             return self._specs[name]
         except KeyError:
@@ -208,7 +242,7 @@ REGISTRY = ModelRegistry()
 # ST-HSL (the paper's model) — registered as just another entry.
 # ----------------------------------------------------------------------
 @REGISTRY.register(
-    "ST-HSL",
+    "ST-HSL", shardable=True,
     supports_batching=True,
     description="Spatial-Temporal Hypergraph Self-Supervised Learning (this paper)",
 )
@@ -229,7 +263,7 @@ def _build_sthsl(geometry: ModelGeometry, *, window: int, hidden: int, seed: int
 # ----------------------------------------------------------------------
 # Table III baselines, in the paper's row order.
 # ----------------------------------------------------------------------
-@REGISTRY.register("ARIMA", requires_training=False, description="per-series ARIMA (Hannan–Rissanen)")
+@REGISTRY.register("ARIMA", requires_training=False, shardable=True, description="per-series ARIMA (Hannan–Rissanen)")
 def _build_arima(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return ARIMA(**overrides)
 
@@ -239,26 +273,26 @@ def _build_svm(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, 
     return SVR(window=window, num_categories=geometry.num_categories, seed=seed, **overrides)
 
 
-@REGISTRY.register("ST-ResNet", description="residual CNN over the region grid")
+@REGISTRY.register("ST-ResNet", shardable=True, description="residual CNN over the region grid")
 def _build_st_resnet(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return STResNet(
         geometry.rows, geometry.cols, geometry.num_categories, window, hidden=hidden, seed=seed, **overrides
     )
 
 
-@REGISTRY.register("DCRNN", supports_batching=True, description="diffusion-convolutional RNN")
+@REGISTRY.register("DCRNN", shardable=True, supports_batching=True, description="diffusion-convolutional RNN")
 def _build_dcrnn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return DCRNN(geometry.adjacency(), geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 
 
-@REGISTRY.register("STGCN", supports_batching=True, description="sandwich ST-Conv blocks over the region graph")
+@REGISTRY.register("STGCN", shardable=True, supports_batching=True, description="sandwich ST-Conv blocks over the region graph")
 def _build_stgcn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return STGCN(
         geometry.normalized_adjacency(), geometry.num_categories, window, hidden=hidden, seed=seed, **overrides
     )
 
 
-@REGISTRY.register("GWN", supports_batching=True, description="Graph WaveNet: adaptive adjacency + dilated TCN")
+@REGISTRY.register("GWN", shardable=True, supports_batching=True, description="Graph WaveNet: adaptive adjacency + dilated TCN")
 def _build_gwn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return GraphWaveNet(geometry.adjacency(), geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 
@@ -273,7 +307,7 @@ def _build_deepcrime(geometry: ModelGeometry, *, window: int, hidden: int, seed:
     return DeepCrime(geometry.num_regions, geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 
 
-@REGISTRY.register("STDN", description="flow-gated CNN-LSTM with periodic attention")
+@REGISTRY.register("STDN", shardable=True, description="flow-gated CNN-LSTM with periodic attention")
 def _build_stdn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return STDN(
         geometry.rows, geometry.cols, geometry.num_categories, window, hidden=hidden, seed=seed, **overrides
@@ -315,6 +349,6 @@ def _build_dmstgcn(geometry: ModelGeometry, *, window: int, hidden: int, seed: i
 # ----------------------------------------------------------------------
 # Reference forecaster (not a Table III row, but the canonical lower bar).
 # ----------------------------------------------------------------------
-@REGISTRY.register("HA", requires_training=False, description="historical average of the window")
+@REGISTRY.register("HA", requires_training=False, shardable=True, description="historical average of the window")
 def _build_ha(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return HistoricalAverage(**overrides)

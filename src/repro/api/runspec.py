@@ -21,7 +21,17 @@ __all__ = ["ExperimentBudget", "DataSpec", "RunSpec"]
 
 @dataclass(frozen=True)
 class ExperimentBudget:
-    """Training budget shared by every model in a comparison."""
+    """Training budget shared by every model in a comparison.
+
+    One frozen value object holds the window length, epoch/patience
+    limits and optimizer hyper-parameters, so comparisons train every
+    model under identical conditions and checkpoints can embed the exact
+    budget they were trained with::
+
+        budget = ExperimentBudget(window=14, epochs=5, train_limit=40)
+        Forecaster("ST-HSL", budget=budget).fit(dataset)
+        assert ExperimentBudget.from_dict(budget.to_dict()) == budget
+    """
 
     window: int = 14
     epochs: int = 4
@@ -33,16 +43,25 @@ class ExperimentBudget:
     seed: int = 0
 
     def to_dict(self) -> dict:
+        """JSON-safe payload (embedded in checkpoint manifests)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentBudget":
+        """Rebuild a budget from a manifest payload."""
         return cls(**payload)
 
 
 @dataclass(frozen=True)
 class DataSpec:
-    """Which dataset to load: a city config plus optional scale overrides."""
+    """Which dataset to load: a city config plus optional scale overrides.
+
+    ``load()`` materialises the (synthetic, seed-deterministic) dataset;
+    leaving the size overrides at None gives the paper's full Table II
+    scale::
+
+        dataset = DataSpec(city="nyc", rows=6, cols=6, num_days=100).load()
+    """
 
     city: str = "nyc"
     rows: int | None = None
@@ -51,15 +70,18 @@ class DataSpec:
     seed: int = 0
 
     def load(self) -> CrimeDataset:
+        """Materialise the dataset this spec describes."""
         return load_city(
             self.city, rows=self.rows, cols=self.cols, num_days=self.num_days, seed=self.seed
         )
 
     def to_dict(self) -> dict:
+        """JSON-safe payload for run descriptions."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "DataSpec":
+        """Rebuild a data spec from its payload."""
         return cls(**payload)
 
 
@@ -70,7 +92,11 @@ class RunSpec:
     ``model`` is a registry name (see :data:`repro.api.REGISTRY`);
     ``hidden`` is the capacity knob every builder understands (ST-HSL's
     embedding dim, the baselines' hidden width); ``overrides`` are extra
-    builder kwargs (e.g. ``num_hyperedges`` for ST-HSL).
+    builder kwargs (e.g. ``num_hyperedges`` for ST-HSL).  Example::
+
+        spec = RunSpec(model="DeepCrime", data=DataSpec(rows=6, cols=6))
+        forecaster = spec.forecaster().fit(spec.data.load())
+        assert RunSpec.from_dict(spec.to_dict()) == spec
     """
 
     model: str = "ST-HSL"
@@ -100,6 +126,7 @@ class RunSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON-safe payload: ship a run to a worker or store it beside results."""
         return {
             "model": self.model,
             "data": self.data.to_dict(),
@@ -110,6 +137,7 @@ class RunSpec:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunSpec":
+        """Rebuild a run spec from its payload (inverse of :meth:`to_dict`)."""
         return cls(
             model=payload.get("model", "ST-HSL"),
             data=DataSpec.from_dict(payload.get("data", {})),

@@ -8,14 +8,18 @@ Subcommands::
     python -m repro.cli evaluate --checkpoint model.npz
     python -m repro.cli compare --city chicago --models ARIMA STGCN
     python -m repro.cli forecast --checkpoint model.npz --horizon 7
+    python -m repro.cli serve --checkpoint model.npz --concurrency 4
+    python -m repro.cli migrate-artifact --checkpoint old.npz --out new.npz
 
 All commands operate on the synthetic datasets (deterministic by
 ``--seed``) at a geometry chosen via ``--rows/--cols/--days``.  Every
 model name is resolved through the :data:`repro.api.REGISTRY` model
 registry, so ``train``/``compare`` accept ST-HSL and the whole baseline
 zoo uniformly.  Checkpoints are versioned artifacts (npz weights + JSON
-manifest): ``evaluate``/``forecast`` reconstruct the model from the file
-alone, so no model flags need to match the training invocation.
+manifest): ``evaluate``/``forecast``/``serve`` reconstruct the model
+from the file alone, so no model flags need to match the training
+invocation, and pre-v2 artifacts upgrade transparently
+(``migrate-artifact`` rewrites them on disk).
 """
 
 from __future__ import annotations
@@ -151,6 +155,52 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Demo serving session: concurrent clients against a ForecastService."""
+    from .analysis.perf import drive_clients
+    from .serving import ForecastService, ModelPool
+
+    pool = ModelPool(capacity=args.pool_capacity, served_dtype=args.served_dtype)
+    forecaster = pool.get(args.checkpoint)
+    dtype = forecaster.served_dtype or "native"
+    print(
+        f"serving {forecaster.model_name} (window={forecaster.window}, "
+        f"dtype={dtype}) from {args.checkpoint}"
+    )
+    dataset = _data_spec(args).load()
+    forecaster.check_compatible(dataset)
+    window = forecaster.window
+    days = range(window, dataset.num_days)
+    windows = [dataset.tensor[:, day - window : day, :] for day in days]
+    requests = [windows[i % len(windows)] for i in range(args.requests)]
+
+    with ForecastService(forecaster, max_batch=args.max_batch) as service:
+        service.predict(requests[0])  # warm the arena before timing
+        service.reset_stats()
+        drive_clients(service, requests, min(args.concurrency, len(requests)))
+        stats = service.stats()
+    rows = [[key, value] for key, value in stats.to_dict().items()]
+    print(format_table(["stat", "value"], rows))
+    return 0
+
+
+def cmd_migrate_artifact(args) -> int:
+    """Rewrite an artifact at the current schema version."""
+    from . import nn
+    from .api.artifacts import migrate, validate_manifest
+
+    manifest, state = nn.load_archive(args.checkpoint)
+    before = (manifest or {}).get("schema")
+    manifest = validate_manifest(migrate(manifest))
+    if args.served_dtype:
+        manifest["served_dtype"] = args.served_dtype
+        validate_manifest(manifest)
+    out = args.out or args.checkpoint
+    nn.save_archive(out, state, manifest)
+    print(f"{args.checkpoint}: {before} -> {manifest['schema']} at {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -192,6 +242,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--horizon", type=int, default=7)
     p.set_defaults(func=cmd_forecast)
+
+    p = sub.add_parser(
+        "serve", help="run a micro-batching forecast service demo and report throughput"
+    )
+    _add_data_args(p)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--concurrency", type=int, default=4, help="concurrent client threads")
+    p.add_argument("--requests", type=int, default=256, help="total predict requests")
+    p.add_argument("--max-batch", type=int, default=8, help="micro-batch size cap")
+    p.add_argument("--pool-capacity", type=int, default=4)
+    p.add_argument(
+        "--served-dtype",
+        choices=("float32", "float64"),
+        default="float32",
+        help="pool-wide serving dtype (best-effort per model)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "migrate-artifact", help="rewrite a checkpoint artifact at the current schema"
+    )
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--out", default=None, help="output path (default: rewrite in place)")
+    p.add_argument(
+        "--served-dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="also set the manifest's served_dtype while migrating",
+    )
+    p.set_defaults(func=cmd_migrate_artifact)
     return parser
 
 

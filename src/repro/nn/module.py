@@ -91,6 +91,27 @@ class Module:
             self._predict_arena = arena
         return arena
 
+    def adopt_arena(self, arena: BufferArena) -> "Module":
+        """Hand this module a (possibly pre-warmed) inference arena.
+
+        Subsequent ``predict``/``predict_batch`` calls allocate from
+        ``arena`` instead of a fresh one, so a serving pool can pass the
+        buffer pool of an evicted model to its replacement — same-shaped
+        workspaces rehit instead of being reallocated (see
+        :class:`repro.serving.ModelPool`).  Returns ``self``.
+        """
+        self._predict_arena = arena
+        return self
+
+    def release_arena(self) -> BufferArena | None:
+        """Detach and return this module's inference arena, if it has one.
+
+        The arena's pooled buffers survive detachment, so the caller can
+        hand them to another module via :meth:`adopt_arena`.
+        """
+        arena = self.__dict__.pop("_predict_arena", None)
+        return arena
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""``repro.serving`` — the forecast serving layer on top of ``repro.api``.
+
+Three composable pieces turn saved checkpoint artifacts into a service
+that absorbs concurrent traffic:
+
+* :class:`ModelPool` — lazy artifact loading with an LRU + pin policy
+  and buffer-arena recycling across entries, so a bounded set of hot
+  models stays resident and model swaps skip allocator warm-up.
+* :class:`ForecastService` — a thread-safe frontend that coalesces
+  concurrent predict requests into cross-request micro-batches through
+  the model's graph-free ``predict_batch`` fast path.  Throughput comes
+  from batching *independent clients together*, not from threads: all
+  inference runs on one worker, which is also what keeps the
+  process-global no-grad/arena state safe.
+* :class:`ShardRouter` — region sharding for grids too large for one
+  model: each shard artifact owns a contiguous row band, the router
+  slices incoming windows per band and merges the outputs.  A router is
+  itself a valid ``ForecastService`` backend, so sharding and
+  micro-batching compose.
+
+Usage
+-----
+
+Serve one artifact to concurrent clients::
+
+    from repro.serving import ForecastService, ModelPool
+
+    pool = ModelPool(capacity=4, served_dtype="float32")
+    with ForecastService(pool.get("sthsl.npz"), max_batch=8) as service:
+        counts = service.predict(history)        # from any thread
+    print(service.stats().to_dict())             # req/s, batch size, latency
+
+Shard a large grid across two models and serve the merged geometry::
+
+    from repro.serving import ShardRouter, train_shards
+
+    shards = train_shards("ST-HSL", dataset, num_shards=2, budget=budget)
+    for i, fc in enumerate(shards):
+        fc.save(f"shard{i}.npz", shard=fc.shard)
+    router = ShardRouter.from_artifacts(["shard0.npz", "shard1.npz"], pool=pool)
+    with ForecastService(router) as service:
+        counts = service.predict(full_grid_window)
+
+See ``docs/serving.md`` for the request lifecycle, micro-batching
+semantics and the artifact v2 schema this layer relies on.
+"""
+
+from .pool import ModelPool, PoolStats
+from .router import ShardRouter, shard_dataset, split_rows, train_shards
+from .service import ForecastService, ServiceStats
+
+__all__ = [
+    "ModelPool",
+    "PoolStats",
+    "ForecastService",
+    "ServiceStats",
+    "ShardRouter",
+    "shard_dataset",
+    "split_rows",
+    "train_shards",
+]

@@ -1,0 +1,197 @@
+"""Model pool: lazy artifact loading with an LRU + pin policy.
+
+A serving process cannot afford to ``Forecaster.load`` on every request,
+nor to keep every checkpoint it has ever seen in memory.  The
+:class:`ModelPool` sits between the two: artifacts load lazily on first
+use, stay resident while hot, and the least-recently-used entry is
+evicted when the pool exceeds its capacity.  Entries serving
+latency-critical traffic can be pinned so eviction never touches them.
+
+Buffer arenas are recycled *across* pool entries: when a model is
+evicted, its inference :class:`~repro.nn.BufferArena` (the pool of
+preallocated op workspaces built up over its predict calls) is detached
+and handed to the next model loaded.  Same-shaped buffers rehit
+immediately, so replacing one city's model with another of the same
+geometry costs no allocator warm-up.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..api import Forecaster
+from ..api.registry import REGISTRY, ModelRegistry
+
+__all__ = ["ModelPool", "PoolStats"]
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Counters describing a pool's behaviour since construction.
+
+    ``hits``/``loads`` tell whether the capacity fits the working set
+    (a high load count means thrashing); ``evictions`` counts models
+    dropped by the LRU policy; ``arena_handoffs`` counts evicted buffer
+    arenas recycled into newly loaded models.  Example::
+
+        pool.get(path); pool.get(path)
+        assert pool.stats().hits == 1
+    """
+
+    size: int
+    capacity: int
+    loads: int
+    hits: int
+    evictions: int
+    arena_handoffs: int
+    pinned: tuple[str, ...]
+
+
+class ModelPool:
+    """LRU cache of loaded :class:`~repro.api.Forecaster` artifacts.
+
+    Usage::
+
+        pool = ModelPool(capacity=2, served_dtype="float32")
+        fc = pool.get("nyc.npz")        # loads (in float32 serving mode)
+        fc = pool.get("nyc.npz")        # hit — same object, no disk I/O
+        pool.pin("nyc.npz")             # never evicted
+        pool.get("chicago.npz")
+        pool.get("sf.npz")              # evicts the LRU unpinned entry
+
+    ``served_dtype`` is the pool-wide serving policy: the deployment
+    operator's choice, applied to every load and *overriding* any
+    ``served_dtype`` an artifact's manifest carries (load artifacts
+    directly through :meth:`Forecaster.load` to honour per-artifact
+    manifest pins instead).  It is best-effort per model — builders
+    without a dtype knob load at native precision.  All methods are
+    thread-safe; the predict paths of the returned forecasters are not —
+    route inference through one worker (what
+    :class:`~repro.serving.ForecastService` does).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        *,
+        served_dtype: str | None = None,
+        registry: ModelRegistry = REGISTRY,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.served_dtype = served_dtype
+        self.registry = registry
+        self._entries: dict[str, Forecaster] = {}  # insertion order = LRU order
+        self._pinned: set[str] = set()
+        self._spare_arenas: list = []
+        self._lock = threading.RLock()
+        self._loads = 0
+        self._hits = 0
+        self._evictions = 0
+        self._arena_handoffs = 0
+
+    @staticmethod
+    def _key(path: str | Path) -> str:
+        return str(Path(path).resolve())
+
+    # ------------------------------------------------------------------
+    # Lookup / loading
+    # ------------------------------------------------------------------
+    def get(self, path: str | Path) -> Forecaster:
+        """The loaded forecaster for ``path``, loading (and possibly
+        evicting) on miss.
+
+        The returned object stays valid even if later evicted from the
+        pool — eviction only drops the pool's reference (and harvests the
+        model's buffer arena for reuse).
+        """
+        key = self._key(path)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._entries[key] = entry  # re-insert = move to MRU
+                self._hits += 1
+                return entry
+            forecaster = Forecaster.load(
+                path, registry=self.registry, served_dtype=self.served_dtype
+            )
+            if self._spare_arenas:
+                forecaster.model.adopt_arena(self._spare_arenas.pop())
+                self._arena_handoffs += 1
+            self._loads += 1
+            self._entries[key] = forecaster
+            self._evict_to_capacity()
+            return forecaster
+
+    def _evict_to_capacity(self) -> None:
+        # LRU = insertion order; the victim is the oldest unpinned entry.
+        # When every *other* entry is pinned, the newest entry itself is
+        # dropped (cache bypass): the caller still gets its forecaster,
+        # the pool just cannot retain it.
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (key for key in self._entries if key not in self._pinned), None
+            )
+            if victim is None:  # pragma: no cover - pinned set exceeds capacity
+                return
+            evicted = self._entries.pop(victim)
+            arena = evicted.model.release_arena()
+            if arena is not None:
+                self._spare_arenas.append(arena)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self, path: str | Path) -> Forecaster:
+        """Load (if needed) and mark ``path`` as never-evict.
+
+        Returns the forecaster, so ``pool.pin(p)`` doubles as a warm-up::
+
+            router_shards = [pool.pin(p) for p in shard_paths]
+
+        Raises ``RuntimeError`` when the pool is already full of pinned
+        entries — a pin that could never be honoured.
+        """
+        with self._lock:
+            forecaster = self.get(path)
+            key = self._key(path)
+            if key not in self._entries:
+                raise RuntimeError(
+                    f"cannot pin {path}: the pool's {self.capacity} slots are "
+                    "all pinned already; unpin something or raise capacity"
+                )
+            self._pinned.add(key)
+            return forecaster
+
+    def unpin(self, path: str | Path) -> None:
+        """Make ``path`` evictable again (no-op if it was not pinned)."""
+        with self._lock:
+            self._pinned.discard(self._key(path))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, path: str | Path) -> bool:
+        with self._lock:
+            return self._key(path) in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> PoolStats:
+        """A consistent snapshot of the pool counters."""
+        with self._lock:
+            return PoolStats(
+                size=len(self._entries),
+                capacity=self.capacity,
+                loads=self._loads,
+                hits=self._hits,
+                evictions=self._evictions,
+                arena_handoffs=self._arena_handoffs,
+                pinned=tuple(sorted(self._pinned)),
+            )

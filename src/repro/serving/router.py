@@ -1,0 +1,239 @@
+"""Region sharding: partition a city grid across multiple pool entries.
+
+A paper-scale grid (16x16 for NYC) is a single model today, but a
+production deployment shards it — each shard model owns a contiguous
+band of grid rows, trains on only that band's data, and serves only
+those regions.  This module provides the three pieces:
+
+* :func:`split_rows` / :func:`shard_dataset` — carve a
+  :class:`~repro.data.CrimeDataset` into row-band datasets (regions are
+  row-major, so a row band is a contiguous region slice);
+* :func:`train_shards` — fit one forecaster per band and stamp each with
+  v2 ``shard`` manifest metadata on save;
+* :class:`ShardRouter` — the serving-side merge: slice an incoming
+  full-grid window per shard, predict each band, and concatenate the
+  outputs back into one full-grid prediction.
+
+Shard datasets keep the *parent's* normalization statistics, so every
+shard predicts on the same count scale and the merged output is directly
+comparable to a whole-grid model's.  Only models whose registry spec is
+``shardable`` (grid-/graph-local models; per-series statistical methods)
+may be sharded — a global-attention model's shards would silently lose
+their cross-region context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..api import Forecaster
+from ..api.registry import REGISTRY, ModelGeometry
+from ..data.datasets import CrimeDataset
+from ..data.grid import GridSegmentation
+from ..data.schema import BoundingBox
+from ..api.runspec import ExperimentBudget
+
+__all__ = ["ShardRouter", "shard_dataset", "split_rows", "train_shards"]
+
+
+def split_rows(rows: int, count: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` row bands covering ``rows``.
+
+    The first ``rows % count`` bands get the extra row, mirroring how
+    work is usually balanced across shards::
+
+        assert split_rows(8, 3) == [(0, 3), (3, 6), (6, 8)]
+    """
+    if not 1 <= count <= rows:
+        raise ValueError(f"cannot split {rows} rows into {count} shards")
+    base, extra = divmod(rows, count)
+    bands, start = [], 0
+    for index in range(count):
+        stop = start + base + (1 if index < extra else 0)
+        bands.append((start, stop))
+        start = stop
+    return bands
+
+
+def shard_dataset(dataset: CrimeDataset, row_start: int, row_stop: int) -> CrimeDataset:
+    """The row band ``[row_start, row_stop)`` of ``dataset`` as a dataset.
+
+    Regions are row-major, so the band is the contiguous tensor slice
+    ``[row_start*cols, row_stop*cols)``.  The temporal split and — by
+    design — the parent's ``mu``/``sigma`` are kept, so shard models all
+    normalize on the parent scale and their merged predictions line up::
+
+        north = shard_dataset(dataset, 0, dataset.grid.rows // 2)
+    """
+    grid = dataset.grid
+    if not 0 <= row_start < row_stop <= grid.rows:
+        raise ValueError(
+            f"row band [{row_start}, {row_stop}) outside grid of {grid.rows} rows"
+        )
+    lat_step = (grid.bbox.lat_max - grid.bbox.lat_min) / grid.rows
+    band_bbox = BoundingBox(
+        lat_min=grid.bbox.lat_min + row_start * lat_step,
+        lat_max=grid.bbox.lat_min + row_stop * lat_step,
+        lon_min=grid.bbox.lon_min,
+        lon_max=grid.bbox.lon_max,
+    )
+    band_rows = row_stop - row_start
+    config = replace(dataset.config, bbox=band_bbox, rows=band_rows)
+    return CrimeDataset(
+        config=config,
+        grid=GridSegmentation(band_bbox, band_rows, grid.cols),
+        tensor=dataset.tensor[row_start * grid.cols : row_stop * grid.cols],
+        split=dataset.split,
+        mu=dataset.mu,
+        sigma=dataset.sigma,
+    )
+
+
+def _shard_manifest(index: int, count: int, band: tuple[int, int], parent: ModelGeometry) -> dict:
+    return {
+        "index": index,
+        "count": count,
+        "row_start": band[0],
+        "row_stop": band[1],
+        "parent": parent.to_dict(),
+    }
+
+
+def train_shards(
+    model: str,
+    dataset: CrimeDataset,
+    num_shards: int,
+    *,
+    budget: ExperimentBudget | None = None,
+    hidden: int = 8,
+    overrides: dict | None = None,
+    verbose: bool = False,
+) -> list[Forecaster]:
+    """Fit one forecaster per row band of ``dataset``.
+
+    Each returned forecaster carries its ``shard`` metadata, so
+    ``fc.save(path, shard=fc.shard)`` writes a v2 shard artifact that
+    :meth:`ShardRouter.from_artifacts` can later reassemble::
+
+        shards = train_shards("ST-HSL", dataset, num_shards=2, budget=budget)
+        for i, fc in enumerate(shards):
+            fc.save(f"shard{i}.npz", shard=fc.shard)
+
+    Refuses models whose registry spec is not ``shardable``.
+    """
+    spec = REGISTRY.spec(model)
+    if not spec.shardable:
+        raise ValueError(
+            f"{model!r} is not shardable (registry capability flag); "
+            "sharding a global-context model silently degrades it"
+        )
+    parent = ModelGeometry.of(dataset)
+    bands = split_rows(parent.rows, num_shards)
+    shards = []
+    for index, band in enumerate(bands):
+        forecaster = Forecaster(model, budget=budget, hidden=hidden, overrides=overrides)
+        forecaster.fit(shard_dataset(dataset, *band), verbose=verbose)
+        forecaster.shard = _shard_manifest(index, num_shards, band, parent)
+        shards.append(forecaster)
+    return shards
+
+
+class ShardRouter:
+    """Route full-grid windows across region-shard forecasters.
+
+    The router validates at construction that its forecasters form a
+    complete, ordered, non-overlapping partition of one parent grid, then
+    serves the parent geometry: an incoming ``(R, W, C)`` window (or
+    ``(B, R, W, C)`` batch) is sliced per band, each shard predicts its
+    regions, and the outputs concatenate back to ``(R, C)`` (or
+    ``(B, R, C)``).  Usage::
+
+        router = ShardRouter.from_artifacts(paths, pool=pool)
+        counts = router.predict(window)                 # full-grid in/out
+        service = ForecastService(router)               # drop-in backend
+
+    The router is itself a valid :class:`~repro.serving.ForecastService`
+    backend — sharding and cross-request micro-batching compose.
+    """
+
+    def __init__(self, shards: list[Forecaster]):
+        if not shards:
+            raise ValueError("ShardRouter needs at least one shard forecaster")
+        missing = [fc.model_name for fc in shards if not fc.shard]
+        if missing:
+            raise ValueError(
+                f"forecasters without shard metadata: {missing}; load shard "
+                "artifacts (or use train_shards) rather than whole-grid ones"
+            )
+        self.shards = sorted(shards, key=lambda fc: int(fc.shard["index"]))
+        first = self.shards[0].shard
+        self.geometry = ModelGeometry.from_dict(first["parent"])
+        count = int(first["count"])
+        if len(self.shards) != count:
+            raise ValueError(f"expected {count} shards, got {len(self.shards)}")
+        expected_row = 0
+        for index, fc in enumerate(self.shards):
+            shard = fc.shard
+            if int(shard["index"]) != index:
+                raise ValueError(f"duplicate or missing shard index {index}")
+            if ModelGeometry.from_dict(shard["parent"]) != self.geometry:
+                raise ValueError("shards disagree about the parent geometry")
+            if int(shard["row_start"]) != expected_row:
+                raise ValueError(
+                    f"shard {index} starts at row {shard['row_start']}, "
+                    f"expected {expected_row} (bands must tile the grid)"
+                )
+            expected_row = int(shard["row_stop"])
+            if not fc.registry.spec(fc.model_name).shardable:
+                raise ValueError(f"{fc.model_name!r} is not a shardable model")
+        if expected_row != self.geometry.rows:
+            raise ValueError(
+                f"shards cover rows [0, {expected_row}) of a "
+                f"{self.geometry.rows}-row grid"
+            )
+        self._slices = [
+            slice(int(fc.shard["row_start"]) * self.geometry.cols,
+                  int(fc.shard["row_stop"]) * self.geometry.cols)
+            for fc in self.shards
+        ]
+
+    @classmethod
+    def from_artifacts(cls, paths, *, pool=None, served_dtype: str | None = None) -> "ShardRouter":
+        """Assemble a router from shard artifact files.
+
+        With a :class:`~repro.serving.ModelPool` the shards load through
+        (and are pinned in) the pool; without one they load directly::
+
+            router = ShardRouter.from_artifacts(["s0.npz", "s1.npz"])
+        """
+        if pool is not None:
+            return cls([pool.pin(path) for path in paths])
+        return cls([Forecaster.load(path, served_dtype=served_dtype) for path in paths])
+
+    @property
+    def num_shards(self) -> int:
+        """How many row-band shard models the router merges."""
+        return len(self.shards)
+
+    def predict(self, window: np.ndarray) -> np.ndarray:
+        """Full-grid expected counts from a raw count history.
+
+        ``window`` is ``(R, W, C)`` or a stacked ``(B, R, W, C)`` batch
+        over the *parent* grid; the region axis is sliced per shard band,
+        each shard model predicts its regions, and the merged result has
+        the parent's region count again.
+        """
+        window = np.asarray(window, dtype=float)
+        region_axis = window.ndim - 3
+        if window.ndim not in (3, 4) or window.shape[region_axis] != self.geometry.num_regions:
+            raise ValueError(
+                f"expected a ({self.geometry.num_regions}, W, C) window or batch "
+                f"over the parent grid, got shape {window.shape}"
+            )
+        parts = [
+            fc.predict(window[(slice(None),) * region_axis + (band,)])
+            for fc, band in zip(self.shards, self._slices)
+        ]
+        return np.concatenate(parts, axis=region_axis)

@@ -1,0 +1,320 @@
+"""Forecast service: cross-request micro-batching over one worker.
+
+Concurrent clients each want one window predicted; the model is fastest
+when windows run through ``predict_batch`` together.  The
+:class:`ForecastService` bridges the two: requests from any thread land
+on a queue, a single worker coalesces whatever is waiting (up to
+``max_batch``, holding the batch open at most ``max_delay`` seconds for
+stragglers) into one stacked batch through the backend's vectorized
+no-grad path, and each caller gets its own row of the result.
+
+Throughput therefore comes from *coalescing independent clients* — the
+architectural step past PR 3's single-caller batching — while the
+single worker keeps the process-global ``no_grad``/arena state (which is
+not thread-safe) on one thread by construction.
+
+Request lifecycle::
+
+    client thread                worker thread
+    -------------                -------------
+    submit(window) ──► queue
+    wait on handle      drain up to max_batch (wait ≤ max_delay)
+                        np.stack ► backend.predict(batch) ► split rows
+    ◄────────────────── set result, wake clients
+    handle.result()
+
+The backend is anything mapping a stacked ``(B, R, W, C)`` batch of raw
+count windows to ``(B, R, C)`` predictions — a
+:class:`~repro.api.Forecaster` or a
+:class:`~repro.serving.ShardRouter`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ForecastService", "ServiceStats"]
+
+
+class _PendingRequest:
+    """One submitted window: a tiny future the worker completes."""
+
+    __slots__ = ("window", "result", "error", "enqueued_at", "done_at", "_event")
+
+    def __init__(self, window: np.ndarray):
+        self.window = window
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.enqueued_at = time.perf_counter()
+        self.done_at: float | None = None
+        self._event = threading.Event()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> np.ndarray:
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def _complete(self, result: np.ndarray | None, error: BaseException | None) -> None:
+        self.result = result
+        self.error = error
+        self.done_at = time.perf_counter()
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of a service's behaviour since start (or reset).
+
+    ``mean_batch`` is the coalescing health metric: at concurrency ``k``
+    it should approach ``min(k, max_batch)``; 1.0 means every request ran
+    alone and the service added queueing for nothing.  Latencies are
+    enqueue-to-completion seconds.  Example::
+
+        stats = service.stats()
+        print(f"{stats.requests_per_sec:.0f} req/s, batch {stats.mean_batch:.1f}")
+    """
+
+    requests: int
+    batches: int
+    mean_batch: float
+    requests_per_sec: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (used by the perf harness and the CLI)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch, 3),
+            "requests_per_sec": round(self.requests_per_sec, 2),
+            "latency_mean_ms": round(self.latency_mean * 1e3, 3),
+            "latency_p50_ms": round(self.latency_p50 * 1e3, 3),
+            "latency_p95_ms": round(self.latency_p95 * 1e3, 3),
+        }
+
+
+class ForecastService:
+    """Thread-safe forecast frontend that micro-batches across requests.
+
+    Usage::
+
+        fc = pool.get("model.npz")
+        with ForecastService(fc, max_batch=8) as service:
+            counts = service.predict(window)            # blocking call
+            handles = [service.submit(w) for w in ws]   # pipelined client
+            results = [h.wait() for h in handles]
+        print(service.stats().to_dict())
+
+    ``max_batch`` bounds the coalesced batch (small batches are the
+    single-core sweet spot — see ROADMAP Performance); ``max_delay`` is
+    how long the worker holds an under-full batch open for stragglers.
+    The default 2 ms is far below model latency, so it costs essentially
+    no added latency while letting a burst of concurrent clients land in
+    one batch.  All inference runs on the service's single worker
+    thread, which keeps the process-global no-grad/arena fast path
+    single-threaded by construction.
+    """
+
+    def __init__(self, backend, *, max_batch: int = 8, max_delay: float = 0.002):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.backend = backend
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: deque[_PendingRequest] = deque()
+        self._cond = threading.Condition()
+        self._alive = False
+        self._last_batch = 0
+        self._worker: threading.Thread | None = None
+        self._requests = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._latencies: deque[float] = deque(maxlen=4096)
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ForecastService":
+        """Start the worker thread (idempotent); returns ``self``."""
+        with self._cond:
+            if self._alive:
+                return self
+            self._alive = True
+            self._started_at = time.perf_counter()
+            self._worker = threading.Thread(
+                target=self._run, name="forecast-service", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Drain outstanding requests, then stop the worker.
+
+        Requests submitted after ``stop`` raise ``RuntimeError``; requests
+        already queued complete normally before the worker exits.
+        """
+        with self._cond:
+            if not self._alive:
+                return
+            self._alive = False
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout)
+            self._worker = None
+
+    def __enter__(self) -> "ForecastService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker thread is accepting requests."""
+        return self._alive
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, window: np.ndarray) -> _PendingRequest:
+        """Enqueue one raw-count window ``(R, W, C)``; returns a handle.
+
+        The handle's ``wait(timeout=None)`` blocks until the worker
+        completes the batch containing this request and returns the
+        ``(R, C)`` expected counts (re-raising any backend error).
+        Submitting from many threads is safe and is the point: concurrent
+        submissions coalesce into shared batches.
+        """
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
+        request = _PendingRequest(window)
+        with self._cond:
+            if not self._alive:
+                raise RuntimeError("service is not running; call start() first")
+            self._pending.append(request)
+            self._cond.notify_all()
+        return request
+
+    def predict(self, window: np.ndarray, timeout: float | None = None) -> np.ndarray:
+        """Blocking convenience wrapper: ``submit(window).wait(timeout)``."""
+        return self.submit(window).wait(timeout)
+
+    def predict_many(self, windows, timeout: float | None = None) -> list[np.ndarray]:
+        """Submit a client-side burst, then gather in order.
+
+        All windows are enqueued before the first wait, so one client can
+        fill whole micro-batches by itself::
+
+            results = service.predict_many(stream_of_windows)
+        """
+        handles = [self.submit(w) for w in windows]
+        return [h.wait(timeout) for h in handles]
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Throughput/coalescing/latency snapshot since :meth:`start`."""
+        with self._cond:
+            latencies = sorted(self._latencies)
+            requests, batches = self._requests, self._batches
+            coalesced = self._coalesced
+            elapsed = (
+                time.perf_counter() - self._started_at if self._started_at else 0.0
+            )
+
+        def pct(q: float) -> float:
+            if not latencies:
+                return 0.0
+            return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+        return ServiceStats(
+            requests=requests,
+            batches=batches,
+            mean_batch=coalesced / batches if batches else 0.0,
+            requests_per_sec=requests / elapsed if elapsed > 0 else 0.0,
+            latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
+            latency_p50=pct(0.50),
+            latency_p95=pct(0.95),
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (benchmarks call this after warm-up)."""
+        with self._cond:
+            self._requests = 0
+            self._batches = 0
+            self._coalesced = 0
+            self._latencies.clear()
+            self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _drain_batch(self) -> list[_PendingRequest]:
+        """Pop the next micro-batch, holding it open briefly for stragglers.
+
+        The hold-open only engages when there is evidence of concurrency
+        — more than one request already queued, or the previous batch
+        coalesced — so a single sequential client never pays the
+        ``max_delay`` on every request.
+        """
+        with self._cond:
+            while not self._pending:
+                if not self._alive:
+                    return []
+                self._cond.wait()
+            if self.max_delay > 0.0 and (len(self._pending) > 1 or self._last_batch > 1):
+                deadline = time.monotonic() + self.max_delay
+                while len(self._pending) < self.max_batch and self._alive:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        break
+            count = min(len(self._pending), self.max_batch)
+            self._last_batch = count
+            return [self._pending.popleft() for _ in range(count)]
+
+    def _run(self) -> None:
+        while True:
+            batch = self._drain_batch()
+            if not batch:
+                return  # stopped and fully drained
+            try:
+                stacked = np.stack([request.window for request in batch])
+                predictions = self.backend.predict(stacked)
+                outcomes = [(row, None) for row in predictions]
+            except BaseException:  # noqa: BLE001 - fall back to isolation
+                # Heterogeneous shapes or a data-dependent failure: retry
+                # singly so one bad request cannot poison its neighbours.
+                outcomes = []
+                for request in batch:
+                    try:
+                        outcomes.append(
+                            (self.backend.predict(request.window[None])[0], None)
+                        )
+                    except BaseException as exc:  # noqa: BLE001 - to caller
+                        outcomes.append((None, exc))
+            now = time.perf_counter()
+            with self._cond:
+                self._requests += len(batch)
+                self._batches += 1
+                self._coalesced += len(batch)
+                for request in batch:
+                    self._latencies.append(now - request.enqueued_at)
+            for request, (result, error) in zip(batch, outcomes):
+                request._complete(result, error)

@@ -8,11 +8,13 @@ import pytest
 from repro import nn
 from repro.api import (
     ARTIFACT_SCHEMA,
+    ARTIFACT_SCHEMA_V1,
     ArtifactError,
     DataSpec,
     ExperimentBudget,
     Forecaster,
     RunSpec,
+    migrate,
     read_artifact,
 )
 
@@ -119,6 +121,116 @@ class TestRejection:
         _tamper(path, bad, geometry=None)
         with pytest.raises(ArtifactError, match="missing required keys"):
             Forecaster.load(bad)
+
+
+def _write_v1(forecaster, path):
+    """Re-create a pre-v2 artifact exactly as the v1 writer laid it out."""
+    manifest = {
+        "schema": ARTIFACT_SCHEMA_V1,
+        "model": forecaster.model_name,
+        "build": {
+            "window": forecaster.budget.window,
+            "hidden": forecaster.hidden,
+            "seed": forecaster.budget.seed,
+            "overrides": dict(forecaster.overrides),
+        },
+        "geometry": forecaster.geometry.to_dict(),
+        "normalization": {"mu": forecaster.mu, "sigma": forecaster.sigma},
+        "categories": list(forecaster.categories),
+        "budget": forecaster.budget.to_dict(),
+        "training": forecaster.training_,
+        "repro_version": "1.0.0",
+    }
+    nn.save_archive(path, forecaster.model.state_dict(), manifest)
+
+
+class TestMigration:
+    def test_v1_artifact_loads_and_serves_bitwise_identically(self, tmp_path):
+        """PR 4 acceptance: a pre-v2 artifact loads through the migration
+        path and predicts bitwise-equal to the forecaster that wrote it."""
+        forecaster = _fitted()
+        path = tmp_path / "legacy_v1.npz"
+        _write_v1(forecaster, path)
+        upgraded = Forecaster.load(path)
+        history = DATASET.tensor[:, 20:28, :]
+        assert np.array_equal(forecaster.predict(history), upgraded.predict(history))
+        assert upgraded.served_dtype is None  # native dtype, as before v2
+
+    def test_read_artifact_upgrades_v1_in_memory(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "legacy_v1.npz"
+        _write_v1(forecaster, path)
+        artifact = read_artifact(path)
+        assert artifact.manifest["schema"] == ARTIFACT_SCHEMA
+        assert artifact.served_dtype is None and artifact.shard is None
+        # the file itself is untouched
+        raw_manifest, _ = nn.load_archive(path)
+        assert raw_manifest["schema"] == ARTIFACT_SCHEMA_V1
+
+    def test_migrate_is_idempotent_on_current_schema(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "model.npz"
+        manifest = forecaster.save(path)
+        assert migrate(dict(manifest)) == manifest
+
+    def test_migrate_rejects_unknown_and_missing_schemas(self):
+        with pytest.raises(ArtifactError, match="unsupported artifact schema"):
+            migrate({"schema": "repro.artifact/v999"})
+        with pytest.raises(ArtifactError, match="no manifest"):
+            migrate(None)
+
+    def test_served_dtype_round_trips_and_is_applied(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "served.npz"
+        manifest = forecaster.save(path, served_dtype="float32")
+        assert manifest["served_dtype"] == "float32"
+        loaded = Forecaster.load(path)
+        assert loaded.served_dtype == "float32"
+        assert loaded.model.config.compute_dtype == "float32"
+        history = DATASET.tensor[:, 20:28, :]
+        assert np.allclose(forecaster.predict(history), loaded.predict(history), atol=1e-4)
+
+    def test_explicit_served_dtype_overrides_manifest(self, tmp_path):
+        forecaster = _fitted()
+        path = tmp_path / "served.npz"
+        forecaster.save(path, served_dtype="float32")
+        loaded = Forecaster.load(path, served_dtype="float64")
+        assert loaded.model.config.compute_dtype == "float64"
+
+    def test_invalid_served_dtype_rejected_at_save(self, tmp_path):
+        forecaster = _fitted()
+        with pytest.raises(ArtifactError, match="served_dtype"):
+            forecaster.save(tmp_path / "bad.npz", served_dtype="float16")
+
+    def test_shard_metadata_round_trips(self, tmp_path):
+        forecaster = _fitted()
+        shard = {
+            "index": 0,
+            "count": 2,
+            "row_start": 0,
+            "row_stop": 2,
+            "parent": {"rows": 4, "cols": 4, "num_categories": 4},
+        }
+        path = tmp_path / "shard.npz"
+        forecaster.save(path, shard=shard)
+        loaded = Forecaster.load(path)
+        assert loaded.shard == shard
+
+    def test_malformed_shard_metadata_rejected(self, tmp_path):
+        forecaster = _fitted()
+        with pytest.raises(ArtifactError, match="shard"):
+            forecaster.save(tmp_path / "bad.npz", shard={"index": 0})
+        with pytest.raises(ArtifactError, match="out of range"):
+            forecaster.save(
+                tmp_path / "bad.npz",
+                shard={
+                    "index": 5,
+                    "count": 2,
+                    "row_start": 0,
+                    "row_stop": 2,
+                    "parent": {"rows": 4, "cols": 4, "num_categories": 4},
+                },
+            )
 
 
 class TestEstimator:

@@ -1,0 +1,136 @@
+"""ShardRouter: dataset slicing, shard training, routing and validation."""
+
+import numpy as np
+import pytest
+
+from repro.api import DataSpec, ExperimentBudget, Forecaster
+from repro.serving import ModelPool, ShardRouter, shard_dataset, split_rows, train_shards
+
+BUDGET = ExperimentBudget(window=8, epochs=1, train_limit=4, seed=0)
+DATASET = DataSpec(city="nyc", rows=4, cols=4, num_days=60, seed=0).load()
+WINDOW = DATASET.tensor[:, 20:28, :]
+
+
+@pytest.fixture(scope="module")
+def shards():
+    return train_shards("ST-HSL", DATASET, 2, budget=BUDGET, hidden=6)
+
+
+@pytest.fixture(scope="module")
+def shard_paths(shards, tmp_path_factory):
+    root = tmp_path_factory.mktemp("shards")
+    paths = []
+    for index, fc in enumerate(shards):
+        path = root / f"shard{index}.npz"
+        fc.save(path, shard=fc.shard)
+        paths.append(path)
+    return paths
+
+
+class TestSplitRows:
+    def test_balanced_partition(self):
+        assert split_rows(8, 3) == [(0, 3), (3, 6), (6, 8)]
+        assert split_rows(4, 2) == [(0, 2), (2, 4)]
+        assert split_rows(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_rejects_impossible_splits(self):
+        with pytest.raises(ValueError):
+            split_rows(4, 5)
+        with pytest.raises(ValueError):
+            split_rows(4, 0)
+
+
+class TestShardDataset:
+    def test_band_slices_regions_row_major(self):
+        band = shard_dataset(DATASET, 1, 3)
+        assert band.grid.rows == 2 and band.grid.cols == 4
+        assert np.array_equal(band.tensor, DATASET.tensor[4:12])
+
+    def test_parent_normalization_kept(self):
+        band = shard_dataset(DATASET, 0, 2)
+        assert band.mu == DATASET.mu and band.sigma == DATASET.sigma
+        assert band.split == DATASET.split
+
+    def test_rejects_bad_bands(self):
+        with pytest.raises(ValueError):
+            shard_dataset(DATASET, 2, 2)
+        with pytest.raises(ValueError):
+            shard_dataset(DATASET, 0, 5)
+
+
+class TestTrainShards:
+    def test_shards_carry_manifest_metadata(self, shards):
+        assert [fc.shard["index"] for fc in shards] == [0, 1]
+        assert all(fc.shard["count"] == 2 for fc in shards)
+        assert shards[0].shard["row_start"] == 0 and shards[0].shard["row_stop"] == 2
+        assert shards[1].shard["row_start"] == 2 and shards[1].shard["row_stop"] == 4
+        parent = {"rows": 4, "cols": 4, "num_categories": 4}
+        assert all(fc.shard["parent"] == parent for fc in shards)
+
+    def test_refuses_non_shardable_model(self):
+        with pytest.raises(ValueError, match="not shardable"):
+            train_shards("GMAN", DATASET, 2, budget=BUDGET)
+
+
+class TestRouting:
+    def test_merged_prediction_is_concatenation_of_bands(self, shards):
+        router = ShardRouter(shards)
+        merged = router.predict(WINDOW)
+        assert merged.shape == (16, 4)
+        north = shards[0].predict(WINDOW[:8])
+        south = shards[1].predict(WINDOW[8:])
+        assert np.array_equal(merged, np.concatenate([north, south]))
+
+    def test_batched_routing_matches_per_sample(self, shards):
+        router = ShardRouter(shards)
+        batch = np.stack([DATASET.tensor[:, t : t + 8, :] for t in (10, 20, 30)])
+        stacked = router.predict(batch)
+        assert stacked.shape == (3, 16, 4)
+        for row, window in zip(stacked, batch):
+            assert np.allclose(row, router.predict(window), atol=1e-10)
+
+    def test_round_trip_through_artifacts(self, shards, shard_paths):
+        router = ShardRouter.from_artifacts(shard_paths)
+        assert router.num_shards == 2
+        assert np.array_equal(router.predict(WINDOW), ShardRouter(shards).predict(WINDOW))
+
+    def test_from_artifacts_pins_in_pool(self, shard_paths):
+        pool = ModelPool(capacity=4)
+        router = ShardRouter.from_artifacts(shard_paths, pool=pool)
+        assert router.predict(WINDOW).shape == (16, 4)
+        assert len(pool.stats().pinned) == 2
+
+    def test_rejects_window_of_wrong_geometry(self, shards):
+        router = ShardRouter(shards)
+        with pytest.raises(ValueError, match="parent grid"):
+            router.predict(np.zeros((8, 8, 4)))
+
+    def test_shard_order_does_not_matter_at_construction(self, shards):
+        router = ShardRouter(list(reversed(shards)))
+        assert np.array_equal(router.predict(WINDOW), ShardRouter(shards).predict(WINDOW))
+
+
+class TestValidation:
+    def test_whole_grid_forecaster_rejected(self):
+        whole = Forecaster("ST-HSL", budget=BUDGET, hidden=6).fit(DATASET)
+        with pytest.raises(ValueError, match="shard metadata"):
+            ShardRouter([whole])
+
+    def test_missing_shard_rejected(self, shards):
+        with pytest.raises(ValueError, match="expected 2 shards"):
+            ShardRouter([shards[0]])
+
+    def test_duplicate_shard_rejected(self, shards):
+        with pytest.raises(ValueError, match="duplicate or missing"):
+            ShardRouter([shards[0], shards[0]])
+
+    def test_gap_in_bands_rejected(self, shards):
+        lonely = train_shards("ST-HSL", DATASET, 4, budget=BUDGET, hidden=6)
+        with pytest.raises(ValueError):
+            ShardRouter([lonely[0], lonely[2], lonely[1], lonely[3]][:3])
+
+    def test_mismatched_parents_rejected(self, shards):
+        other_dataset = DataSpec(city="nyc", rows=4, cols=4, num_days=60, seed=1).load()
+        other = train_shards("ST-HSL", other_dataset, 3, budget=BUDGET, hidden=6)
+        with pytest.raises(ValueError):
+            ShardRouter([shards[0], other[1]])

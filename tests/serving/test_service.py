@@ -1,0 +1,171 @@
+"""ForecastService: correctness under concurrency, coalescing, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import DataSpec, ExperimentBudget, Forecaster
+from repro.serving import ForecastService
+
+BUDGET = ExperimentBudget(window=8, epochs=1, train_limit=4, seed=0)
+DATASET = DataSpec(city="nyc", rows=4, cols=4, num_days=60, seed=0).load()
+
+
+@pytest.fixture(scope="module")
+def forecaster():
+    return Forecaster("ST-HSL", budget=BUDGET, hidden=6).fit(DATASET)
+
+
+def windows(count, start=10):
+    return [DATASET.tensor[:, t : t + 8, :] for t in range(start, start + count)]
+
+
+class TestSingleClient:
+    def test_predict_matches_direct_forecaster(self, forecaster):
+        window = DATASET.tensor[:, 20:28, :]
+        with ForecastService(forecaster) as service:
+            assert np.array_equal(service.predict(window), forecaster.predict(window))
+
+    def test_submit_returns_waitable_handle(self, forecaster):
+        window = DATASET.tensor[:, 15:23, :]
+        with ForecastService(forecaster) as service:
+            handle = service.submit(window)
+            result = handle.wait(timeout=30)
+            assert handle.done()
+            assert result.shape == (16, 4)
+
+    def test_predict_many_preserves_order(self, forecaster):
+        batch = windows(6)
+        with ForecastService(forecaster, max_batch=4) as service:
+            results = service.predict_many(batch)
+        expected = [forecaster.predict(w) for w in batch]
+        for got, want in zip(results, expected):
+            assert np.allclose(got, want, atol=1e-10)
+
+    def test_rejects_malformed_window(self, forecaster):
+        with ForecastService(forecaster) as service:
+            with pytest.raises(ValueError, match="expected a"):
+                service.submit(np.zeros((16, 8)))
+
+
+class TestConcurrentClients:
+    def test_every_client_gets_its_own_result(self, forecaster):
+        """4 clients, distinct windows — results must match per-sample
+        predictions (coalescing may round at f32/f64 epsilon scale)."""
+        per_client = windows(8)
+        expected = [forecaster.predict(w) for w in per_client]
+        results = {}
+
+        with ForecastService(forecaster, max_batch=4) as service:
+
+            def client(idx):
+                results[idx] = [service.predict(w) for w in per_client]
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+
+        for idx in range(4):
+            for got, want in zip(results[idx], expected):
+                assert np.allclose(got, want, atol=1e-10)
+        assert stats.requests == 32
+
+    def test_concurrent_requests_coalesce_into_micro_batches(self, forecaster):
+        barrier = threading.Barrier(4)
+        with ForecastService(forecaster, max_batch=4, max_delay=0.05) as service:
+
+            def client(window):
+                barrier.wait()  # all four submit together
+                service.predict(window)
+
+            threads = [
+                threading.Thread(target=client, args=(w,)) for w in windows(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        assert stats.requests == 4
+        assert stats.batches < 4  # at least some coalescing happened
+        assert stats.mean_batch > 1.0
+
+    def test_max_batch_bounds_coalescing(self, forecaster):
+        with ForecastService(forecaster, max_batch=2, max_delay=0.05) as service:
+            service.predict_many(windows(8))
+            stats = service.stats()
+        assert stats.requests == 8
+        assert stats.batches >= 4  # 8 requests / cap 2
+
+
+class TestStatsAndLifecycle:
+    def test_stats_track_latency_and_throughput(self, forecaster):
+        with ForecastService(forecaster) as service:
+            service.predict_many(windows(5))
+            stats = service.stats()
+        assert stats.requests == 5
+        assert stats.requests_per_sec > 0
+        assert 0 < stats.latency_p50 <= stats.latency_p95
+        payload = stats.to_dict()
+        assert payload["requests"] == 5 and payload["latency_p95_ms"] > 0
+
+    def test_reset_stats_zeroes_counters(self, forecaster):
+        with ForecastService(forecaster) as service:
+            service.predict(DATASET.tensor[:, 12:20, :])
+            service.reset_stats()
+            assert service.stats().requests == 0
+
+    def test_submit_after_stop_raises(self, forecaster):
+        service = ForecastService(forecaster).start()
+        service.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            service.submit(DATASET.tensor[:, 12:20, :])
+
+    def test_stop_drains_queued_requests(self, forecaster):
+        service = ForecastService(forecaster, max_batch=2).start()
+        handles = [service.submit(w) for w in windows(6)]
+        service.stop()
+        for handle in handles:
+            assert handle.wait(timeout=1).shape == (16, 4)
+
+    def test_start_is_idempotent_and_restartable(self, forecaster):
+        service = ForecastService(forecaster)
+        service.start().start()
+        window = DATASET.tensor[:, 18:26, :]
+        assert service.predict(window).shape == (16, 4)
+        service.stop()
+        service.start()  # restart after stop
+        assert service.predict(window).shape == (16, 4)
+        service.stop()
+
+    def test_backend_error_reaches_the_caller_not_the_worker(self, forecaster):
+        class Broken:
+            def predict(self, batch):
+                raise RuntimeError("backend exploded")
+
+        with ForecastService(Broken()) as service:
+            handle = service.submit(np.zeros((16, 8, 4)))
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                handle.wait(timeout=5)
+            # the worker survives a poisoned batch
+            assert service.running
+
+    def test_bad_request_does_not_poison_batch_neighbours(self, forecaster):
+        good = DATASET.tensor[:, 20:28, :]
+        bad = np.zeros((9, 8, 4))  # wrong region count for the model
+        with ForecastService(forecaster, max_batch=4, max_delay=0.05) as service:
+            handles = [service.submit(good), service.submit(bad), service.submit(good)]
+            assert handles[0].wait(timeout=30).shape == (16, 4)
+            with pytest.raises(Exception):
+                handles[1].wait(timeout=30)
+            assert handles[2].wait(timeout=30).shape == (16, 4)
+
+    def test_validation_errors_ride_on_parameters(self, forecaster):
+        with pytest.raises(ValueError, match="max_batch"):
+            ForecastService(forecaster, max_batch=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            ForecastService(forecaster, max_delay=-1.0)

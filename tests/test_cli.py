@@ -107,3 +107,55 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "ST-HSL" in out and "ARIMA" in out and "HA" in out
+
+    @pytest.fixture()
+    def trained_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "model.npz"
+        assert main(
+            ["train", *SMALL, "--window", "8", "--dim", "6", "--epochs", "1",
+             "--train-limit", "4", "--checkpoint", str(ckpt)]
+        ) == 0
+        capsys.readouterr()
+        return ckpt
+
+    def test_serve_reports_throughput(self, trained_checkpoint, capsys):
+        code = main(
+            ["serve", *SMALL, "--checkpoint", str(trained_checkpoint),
+             "--requests", "12", "--concurrency", "2", "--max-batch", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving ST-HSL (window=8, dtype=float32)" in out
+        assert "requests_per_sec" in out and "mean_batch" in out
+
+    def test_migrate_artifact_rewrites_v1_in_place_equivalent(self, trained_checkpoint, tmp_path, capsys):
+        """A v1 checkpoint migrates on disk and evaluates identically."""
+        from repro import nn
+        from repro.api import ARTIFACT_SCHEMA, ARTIFACT_SCHEMA_V1
+
+        # Downgrade the trained artifact to the v1 layout.
+        manifest, state = nn.load_archive(trained_checkpoint)
+        manifest["schema"] = ARTIFACT_SCHEMA_V1
+        manifest.pop("served_dtype"), manifest.pop("shard")
+        v1 = tmp_path / "v1.npz"
+        nn.save_archive(v1, state, manifest)
+
+        out = tmp_path / "v2.npz"
+        code = main(
+            ["migrate-artifact", "--checkpoint", str(v1), "--out", str(out),
+             "--served-dtype", "float32"]
+        )
+        assert code == 0
+        assert f"{ARTIFACT_SCHEMA_V1} -> {ARTIFACT_SCHEMA}" in capsys.readouterr().out
+        migrated = read_artifact(out)
+        assert migrated.manifest["schema"] == ARTIFACT_SCHEMA
+        assert migrated.served_dtype == "float32"
+        assert all(
+            np.array_equal(migrated.state[key], read_artifact(trained_checkpoint).state[key])
+            for key in migrated.state
+        )
+
+    def test_migrate_artifact_in_place_default(self, trained_checkpoint, capsys):
+        code = main(["migrate-artifact", "--checkpoint", str(trained_checkpoint)])
+        assert code == 0
+        assert read_artifact(trained_checkpoint).manifest["schema"]
