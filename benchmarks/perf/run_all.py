@@ -7,11 +7,11 @@ fallback path and the float32 compute mode; inference predictions/sec
 for the graph-building forward, the per-sample no-grad fast path, and
 the batched fast path under a reusable buffer arena; and end-to-end
 serving requests/sec through ``repro.serving`` (pool + micro-batching
-service, float32 serving mode) at client concurrency 1/4/16, against
-sequential per-sample baselines on the graph path (the naive serving
-baseline) and the no-grad path.  Writes ``BENCH_perf.json`` (schema
-``repro.perf/v3``) at the repo root so future PRs have a perf
-trajectory to defend.
+service, float32 serving mode) at client concurrency 1/4/16 for worker
+pools of 1 and 2 threads, against sequential per-sample baselines on
+the graph path (the naive serving baseline) and the no-grad path.
+Writes ``BENCH_perf.json`` (schema ``repro.perf/v4``) at the repo root
+so future PRs have a perf trajectory to defend.
 
 Run from the repo root:
 
@@ -63,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--inference-batch", type=int, default=4)
     parser.add_argument("--serving-concurrency", type=int, nargs="+", default=[1, 4, 16])
     parser.add_argument("--serving-max-batch", type=int, default=4)
+    parser.add_argument("--serving-workers", type=int, nargs="+", default=[1, 2])
     parser.add_argument("--seed-seconds", type=float, default=SEED_REFERENCE["epoch_seconds"])
     parser.add_argument("--no-float32", action="store_true", help="skip the float32 mode column")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_perf.json")
@@ -85,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
         inference_batch=args.inference_batch,
         serving_concurrency=tuple(args.serving_concurrency),
         serving_max_batch=args.serving_max_batch,
+        serving_workers=tuple(args.serving_workers),
     )
     write_perf_json(payload, args.out)
 
@@ -105,13 +107,14 @@ def main(argv: list[str] | None = None) -> int:
     print(format_table(headers, rows, float_format="{:.3f}"))
     print()
     serving = payload["serving"]
-    headers = ["Mode", "Concurrency", "Requests/s", "Mean batch", "p95 (ms)"]
+    headers = ["Mode", "Workers", "Concurrency", "Requests/s", "Mean batch", "p95 (ms)"]
     rows = [
-        [f"sequential/{e['path']}", 1, e["requests_per_sec"], 1, "-"]
+        [f"sequential/{e['path']}", "-", 1, e["requests_per_sec"], 1, "-"]
         for e in serving["sequential"]
     ] + [
         [
             "service",
+            e["workers"],
             e["concurrency"],
             e["requests_per_sec"],
             e["mean_batch"],

@@ -2,7 +2,7 @@
 
 ST-HSL's efficiency study (paper Table V) compares architectures; this
 module instead tracks *our implementation's* throughput over time so
-every PR can defend a perf trajectory.  Schema ``repro.perf/v3`` records
+every PR can defend a perf trajectory.  Schema ``repro.perf/v4`` records
 three sections:
 
 * ``training`` — windows/sec and epoch wall-clock for the batched
@@ -13,15 +13,19 @@ three sections:
   closures + parent tracking per op), the per-sample no-grad fast path,
   and the batched fast path under a reusable
   :class:`~repro.nn.BufferArena`;
-* ``serving`` (new in v3) — end-to-end requests/sec through a
+* ``serving`` — end-to-end requests/sec through a
   :class:`~repro.serving.ForecastService` at several client
-  concurrencies, against two sequential per-sample baselines: the
+  concurrencies *and worker-pool sizes* (the ``workers`` dimension, new
+  in v4: every service entry records how many worker threads drained
+  the queue), against two sequential per-sample baselines: the
   ``graph`` path (the naive serving baseline: what a pre-fast-path
   ``predict`` loop cost) and the ``no_grad`` path (today's per-sample
   ``Forecaster.predict`` loop).  The service loads the artifact through
   a :class:`~repro.serving.ModelPool` in the float32 serving mode, so
   its margin over the baselines is the serving stack's contribution:
-  served dtype + cross-request micro-batching + load amortisation.
+  served dtype + cross-request micro-batching + load amortisation —
+  plus, on multi-core hosts, parallel workers (each predicting under
+  its own thread-local execution context).
 
 Entry point: ``benchmarks/perf/run_all.py``; a tier-1 smoke test
 (``pytest -m perf_smoke``) validates the schema on a tiny geometry and
@@ -56,12 +60,12 @@ __all__ = [
     "write_perf_json",
 ]
 
-PERF_SCHEMA = "repro.perf/v3"
+PERF_SCHEMA = "repro.perf/v4"
 
 _REQUIRED_TRAINING_KEYS = {"mode", "dtype", "batch_size", "epoch_seconds", "windows_per_sec"}
 _REQUIRED_INFERENCE_KEYS = {"path", "dtype", "batch_size", "seconds", "predictions_per_sec"}
 _REQUIRED_SEQUENTIAL_KEYS = {"path", "dtype", "requests_per_sec"}
-_REQUIRED_SERVICE_KEYS = {"concurrency", "requests_per_sec", "mean_batch"}
+_REQUIRED_SERVICE_KEYS = {"workers", "concurrency", "requests_per_sec", "mean_batch"}
 _INFERENCE_PATHS = ("graph", "no_grad", "batched")
 _SEQUENTIAL_PATHS = ("graph", "no_grad")
 
@@ -211,6 +215,7 @@ def measure_serving(
     max_batch: int = 4,
     served_dtype: str | None = "float32",
     reps: int = 3,
+    workers: Sequence[int] = (1, 2),
 ) -> dict:
     """Requests/sec through the serving stack vs sequential baselines.
 
@@ -225,12 +230,15 @@ def measure_serving(
       on the artifact as a plain client would load it (native dtype);
     * ``service`` — a :class:`~repro.serving.ForecastService` over a
       :class:`~repro.serving.ModelPool` entry (float32 serving mode),
-      driven by ``k`` concurrent clients for each ``k`` in
-      ``concurrency``; clients block per request, so the coalesced batch
-      is bounded by the concurrency.
+      swept over the ``workers`` worker-pool sizes and, for each, driven
+      by ``k`` concurrent clients for each ``k`` in ``concurrency``;
+      clients block per request, so the coalesced batch is bounded by
+      the concurrency.
 
     Returns the ``serving`` payload section; headline speedups compare
-    the concurrency-4 service against both baselines.  Example::
+    the concurrency-4 single-worker service against both baselines (the
+    trajectory floor recorded before the workers dimension existed), and
+    the multi-worker column against the single-worker one.  Example::
 
         serving = measure_serving("model.npz", stacked, concurrency=(1, 4))
         print(serving["speedups"]["service_conc4_vs_sequential"])
@@ -274,48 +282,71 @@ def measure_serving(
     pool = ModelPool(capacity=2, served_dtype=served_dtype)
     served = pool.get(artifact_path)
     service_entries = []
-    service_rps: dict[int, float] = {}
-    with ForecastService(served, max_batch=max_batch) as service:
-        service.predict(windows[0])  # warm the arena before timing
-        for requested in concurrency:
-            # Round-robin sharing keeps every client thread non-empty, so
-            # the recorded concurrency is the concurrency that actually
-            # ran; with fewer requests than clients the entry is labelled
-            # with the effective client count.
-            clients = min(requested, num_requests)
+    service_rps: dict[tuple[int, int], float] = {}  # (workers, clients) -> req/s
+    for worker_count in workers:
+        with ForecastService(served, max_batch=max_batch, workers=worker_count) as service:
+            # Warm-up burst sized so *every* worker thread drains at least
+            # one batch and builds its per-thread arena before timing —
+            # a single request would leave N-1 workers allocating cold
+            # inside the timed region, deflating the multi-worker column.
+            service.predict_many([windows[0]] * max(worker_count * max_batch, 1))
+            for requested in concurrency:
+                # Round-robin sharing keeps every client thread non-empty, so
+                # the recorded concurrency is the concurrency that actually
+                # ran; with fewer requests than clients the entry is labelled
+                # with the effective client count.
+                clients = min(requested, num_requests)
 
-            def run_clients() -> dict:
-                service.reset_stats()
-                elapsed = drive_clients(service, windows, clients)
-                return {"elapsed": elapsed, "stats": service.stats()}
+                def run_clients() -> dict:
+                    service.reset_stats()
+                    elapsed = drive_clients(service, windows, clients)
+                    return {"elapsed": elapsed, "stats": service.stats()}
 
-            best = min((run_clients() for _ in range(reps)), key=lambda r: r["elapsed"])
-            stats = best["stats"]
-            service_rps[clients] = num_requests / best["elapsed"]
-            service_entries.append(
-                {
-                    "concurrency": clients,
-                    "requests_per_sec": round(service_rps[clients], 2),
-                    "mean_batch": round(stats.mean_batch, 3),
-                    "latency_p50_ms": round(stats.latency_p50 * 1e3, 3),
-                    "latency_p95_ms": round(stats.latency_p95 * 1e3, 3),
-                }
-            )
+                best = min((run_clients() for _ in range(reps)), key=lambda r: r["elapsed"])
+                stats = best["stats"]
+                service_rps[worker_count, clients] = num_requests / best["elapsed"]
+                service_entries.append(
+                    {
+                        "workers": worker_count,
+                        "concurrency": clients,
+                        "requests_per_sec": round(service_rps[worker_count, clients], 2),
+                        "mean_batch": round(stats.mean_batch, 3),
+                        "latency_p50_ms": round(stats.latency_p50 * 1e3, 3),
+                        "latency_p95_ms": round(stats.latency_p95 * 1e3, 3),
+                    }
+                )
 
-    headline = 4 if 4 in service_rps else max(service_rps)
-    low, high = min(service_rps), max(service_rps)
+    # Headline floors are computed against the single-worker column (the
+    # lowest workers level measured) so the tracked trajectory stays
+    # comparable with the pre-workers-dimension history.  When the sweep
+    # excludes workers=1 the keys gain a _workersN suffix — a multi-worker
+    # measurement must never masquerade under the historical key names the
+    # regression floors are pinned to.
+    base_workers = min(w for w, _ in service_rps)
+    base_clients = sorted(c for w, c in service_rps if w == base_workers)
+    headline = 4 if 4 in base_clients else max(base_clients)
+    low, high = base_clients[0], base_clients[-1]
+    tag = "" if base_workers == 1 else f"_workers{base_workers}"
     speedups = {
-        f"service_conc{headline}_vs_graph_baseline": round(
-            service_rps[headline] * seconds["graph"] / num_requests, 3
+        f"service_conc{headline}{tag}_vs_graph_baseline": round(
+            service_rps[base_workers, headline] * seconds["graph"] / num_requests, 3
         ),
-        f"service_conc{headline}_vs_sequential": round(
-            service_rps[headline] * seconds["no_grad"] / num_requests, 3
+        f"service_conc{headline}{tag}_vs_sequential": round(
+            service_rps[base_workers, headline] * seconds["no_grad"] / num_requests, 3
         ),
-        f"service_conc{high}_vs_conc{low}": round(service_rps[high] / service_rps[low], 3),
+        f"service_conc{high}{tag}_vs_conc{low}": round(
+            service_rps[base_workers, high] / service_rps[base_workers, low], 3
+        ),
     }
+    top_workers = max(w for w, _ in service_rps)
+    if top_workers != base_workers and (top_workers, headline) in service_rps:
+        speedups[f"service_conc{headline}_workers{top_workers}_vs_workers{base_workers}"] = round(
+            service_rps[top_workers, headline] / service_rps[base_workers, headline], 3
+        )
     return {
         "num_requests": num_requests,
         "max_batch": max_batch,
+        "workers": [int(w) for w in workers],
         "artifact": {
             "model": baseline.model_name,
             "served_dtype": served.served_dtype,
@@ -338,6 +369,7 @@ def measure_perf(
     inference_batch: int | None = None,
     serving_concurrency: Sequence[int] = (1, 4, 16),
     serving_max_batch: int = 4,
+    serving_workers: Sequence[int] = (1, 2),
 ) -> dict:
     """Measure training and inference throughput across execution modes.
 
@@ -359,7 +391,8 @@ def measure_perf(
     The serving section (see :func:`measure_serving`) reuses the
     inference request windows: a temporary artifact is saved from the
     bench model and served through the pool + service stack at each
-    ``serving_concurrency`` level.
+    ``serving_concurrency`` level for each ``serving_workers`` pool
+    size.
     """
     if fast_alloc:
         enable_fast_alloc()
@@ -463,6 +496,7 @@ def measure_perf(
             concurrency=tuple(serving_concurrency),
             max_batch=serving_max_batch,
             reps=reps,
+            workers=tuple(serving_workers),
         )
 
     payload = {
@@ -515,9 +549,13 @@ def _validate_section(section, name: str, required_keys: set, time_key: str, rat
 def _validate_serving(section) -> None:
     if not isinstance(section, dict):
         raise ValueError("serving must be a mapping")
-    for key in ("num_requests", "max_batch", "artifact", "sequential", "service", "speedups"):
+    for key in ("num_requests", "max_batch", "workers", "artifact", "sequential", "service", "speedups"):
         if key not in section:
             raise ValueError(f"serving missing key {key!r}")
+    if not isinstance(section["workers"], list) or not all(
+        isinstance(w, int) and w >= 1 for w in section["workers"]
+    ):
+        raise ValueError("serving.workers must be a list of positive ints")
     if not isinstance(section["sequential"], list) or not section["sequential"]:
         raise ValueError("serving.sequential must be a non-empty list")
     for entry in section["sequential"]:
@@ -536,16 +574,18 @@ def _validate_serving(section) -> None:
             raise ValueError(f"serving service entry missing keys {sorted(missing)}")
         if not entry["requests_per_sec"] > 0 or not entry["concurrency"] >= 1:
             raise ValueError("serving service entries must have positive rates")
+        if not entry["workers"] >= 1:
+            raise ValueError("serving service entries must record workers >= 1")
     if not all(isinstance(v, (int, float)) and v > 0 for v in section["speedups"].values()):
         raise ValueError("serving.speedups must be positive numbers")
 
 
 def validate_perf_payload(payload: dict) -> None:
-    """Raise ``ValueError`` if ``payload`` does not match the v3 perf schema."""
+    """Raise ``ValueError`` if ``payload`` does not match the v4 perf schema."""
     if payload.get("schema") != PERF_SCHEMA:
         raise ValueError(
             f"unexpected schema tag: {payload.get('schema')!r} (expected {PERF_SCHEMA}; "
-            "re-run benchmarks/perf/run_all.py to regenerate pre-v3 payloads)"
+            "re-run benchmarks/perf/run_all.py to regenerate pre-v4 payloads)"
         )
     for key in ("geometry", "training", "inference", "serving"):
         if key not in payload:

@@ -40,6 +40,19 @@ class Forecaster:
         result = fc.evaluate(dataset)       # masked MAE/MAPE on the test split
         fc.save("model.npz")                # self-describing artifact
         fc2 = Forecaster.load("model.npz")  # no flags needed
+
+    The inference paths (``predict``/``predict_batch``/``iter_predict``)
+    are thread-safe *with respect to each other*: the no-grad/arena/dtype
+    execution state is thread-local and each thread predicts under its
+    own per-thread model arena, so concurrent calls return exactly what
+    sequential calls would.  ``fit`` is not thread-safe, and predicting
+    **during** an in-progress ``fit`` on the same forecaster is also
+    unsupported — the predict path switches the module to eval mode
+    (``self.eval()``), a module-wide flag that would silently turn the
+    rest of the training epoch's dropout off.  Serve from one forecaster
+    while retraining another (e.g. a fresh ``Forecaster`` that replaces
+    the served one on completion, the pattern :class:`repro.serving.ModelPool`
+    supports).
     """
 
     def __init__(

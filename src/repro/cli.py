@@ -165,7 +165,7 @@ def cmd_serve(args) -> int:
     dtype = forecaster.served_dtype or "native"
     print(
         f"serving {forecaster.model_name} (window={forecaster.window}, "
-        f"dtype={dtype}) from {args.checkpoint}"
+        f"dtype={dtype}, workers={args.workers}) from {args.checkpoint}"
     )
     dataset = _data_spec(args).load()
     forecaster.check_compatible(dataset)
@@ -174,8 +174,12 @@ def cmd_serve(args) -> int:
     windows = [dataset.tensor[:, day - window : day, :] for day in days]
     requests = [windows[i % len(windows)] for i in range(args.requests)]
 
-    with ForecastService(forecaster, max_batch=args.max_batch) as service:
-        service.predict(requests[0])  # warm the arena before timing
+    with ForecastService(
+        forecaster, max_batch=args.max_batch, workers=args.workers
+    ) as service:
+        # Warm-up burst sized so every worker thread builds its per-thread
+        # arena before timing (a single request warms only one worker).
+        service.predict_many([requests[0]] * max(args.workers * args.max_batch, 1))
         service.reset_stats()
         drive_clients(service, requests, min(args.concurrency, len(requests)))
         stats = service.stats()
@@ -251,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=int, default=4, help="concurrent client threads")
     p.add_argument("--requests", type=int, default=256, help="total predict requests")
     p.add_argument("--max-batch", type=int, default=8, help="micro-batch size cap")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="service worker threads (parallel inference on multi-core hosts)",
+    )
     p.add_argument("--pool-capacity", type=int, default=4)
     p.add_argument(
         "--served-dtype",

@@ -36,6 +36,13 @@ class STHSLOutput:
     local: Tensor | None  # H^(T): (R, T, C, d) or None when disabled
     global_nodes: Tensor | None  # Γ^(R): (T, RC, d) or None
     global_temporal: Tensor | None  # Γ^(T): (T, RC, d) or None
+    #: Hypergraph input node embeddings (batched (1, T, RC, d)), consumed
+    #: by loss()'s corrupt-propagation term.  Carried on the output —
+    #: not cached on the module — so a concurrent predict from another
+    #: thread can never clobber a training step's nodes between its
+    #: forward and its loss.  None when the forward ran arena-backed
+    #: (the buffers are recycled at scope exit; loss() fails fast).
+    nodes: Tensor | None = None
 
 
 @dataclass
@@ -46,6 +53,9 @@ class STHSLBatchOutput:
     local: Tensor | None  # H^(T): (B, R, T, C, d) or None when disabled
     global_nodes: Tensor | None  # Γ^(R): (B, T, RC, d) or None
     global_temporal: Tensor | None  # Γ^(T): (B, T, RC, d) or None
+    #: Hypergraph input node embeddings (B, T, RC, d) for loss(); see
+    #: :class:`STHSLOutput.nodes` for the carry-on-output rationale.
+    nodes: Tensor | None = None
 
 
 @dataclass
@@ -66,7 +76,6 @@ class STHSL(nn.Module):
         self.config = config
         rng = np.random.default_rng(seed)
         self._corrupt_rng = np.random.default_rng(seed + 1)
-        self._node_cache = None
         cfg = config
         # Parameters (and therefore the whole graph) are created in the
         # configured compute dtype; float32 halves memory traffic on the
@@ -170,6 +179,7 @@ class STHSL(nn.Module):
             local=_squeeze(out.local),
             global_nodes=_squeeze(out.global_nodes),
             global_temporal=_squeeze(out.global_temporal),
+            nodes=out.nodes,  # kept batched: propagate_corrupt expects it
         )
 
     def forward_batch(self, windows: np.ndarray) -> STHSLBatchOutput:
@@ -209,20 +219,22 @@ class STHSL(nn.Module):
         # embeddings in the "w/o Local" ablation.
         global_nodes: Tensor | None = None
         global_temporal: Tensor | None = None
+        nodes_for_loss: Tensor | None = None
         if self.hypergraph is not None:
             source = local if local is not None else embeddings
             nodes = source.transpose(0, 2, 1, 3, 4).reshape(b, t, r * c, cfg.dim)
             if nn.is_grad_enabled() or nn.active_arena() is None:
-                # Cached for loss()'s corrupt-propagation term (also under
-                # plain no_grad, so a no-grad loss evaluation still works).
-                self._node_cache = nodes
+                # Carried on the output for loss()'s corrupt-propagation
+                # term (also under plain no_grad, so a no-grad loss
+                # evaluation still works).
+                nodes_for_loss = nodes
             else:
                 # Arena-backed inference: the nodes live in recycled
-                # buffers, so a retained cache would go stale after the
-                # predict scope exits.  Invalidate instead, making a
-                # subsequent loss() fail fast rather than silently reuse
-                # the previous forward's embeddings.
-                self._node_cache = None
+                # buffers that go stale when the predict scope exits, so
+                # the output deliberately carries None — a loss() on such
+                # an output fails fast rather than silently reusing the
+                # recycled embeddings.
+                nodes_for_loss = None
             global_nodes = self.hypergraph(nodes)
             global_temporal = (
                 self.global_temporal(global_nodes)
@@ -236,6 +248,7 @@ class STHSL(nn.Module):
             local=local,
             global_nodes=global_nodes,
             global_temporal=global_temporal,
+            nodes=nodes_for_loss,
         )
 
     def _predict_head(
@@ -287,11 +300,18 @@ class STHSL(nn.Module):
         contrastive_value = 0.0
 
         if self.infomax is not None and output.global_nodes is not None:
+            if output.nodes is None:
+                raise RuntimeError(
+                    "output carries no node embeddings — forward() ran "
+                    "arena-backed (inside use_arena), whose buffers are "
+                    "recycled at scope exit; rerun forward() outside the "
+                    "arena to compute a loss"
+                )
             # Propagate over a corrupt (region-shuffled) structure (§III-D1);
             # the corrupt path stays differentiable so the incidence matrix
             # also learns from negative samples, as in Deep Graph Infomax.
             corrupt = self.hypergraph.propagate_corrupt(
-                self._last_node_embeddings,
+                output.nodes,
                 self._corrupt_rng,
                 strategy=cfg.corruption,
                 noise_scale=cfg.corruption_noise_scale,
@@ -339,14 +359,6 @@ class STHSL(nn.Module):
         positive = local_pooled.transpose(0, 2, 1, 3)
         return F.info_nce(anchor, positive, cfg.temperature)
 
-    # ------------------------------------------------------------------
-    # Convenience
-    # ------------------------------------------------------------------
-    @property
-    def _last_node_embeddings(self) -> Tensor:
-        if self._node_cache is None:
-            raise RuntimeError("forward() must run before loss()")
-        return self._node_cache
 
     def training_loss(self, window: np.ndarray, target: np.ndarray) -> Tensor:
         """Joint objective for the trainer (matches ForecastModel's duck type)."""

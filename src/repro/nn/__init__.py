@@ -8,6 +8,7 @@ checkpointing.  See DESIGN.md §2 for the substitution rationale.
 
 from . import functional, init
 from .arena import BufferArena, active_arena, use_arena
+from .context import ExecutionContext, execution_context
 from .layers import (
     GRU,
     BatchNorm2d,
@@ -61,6 +62,8 @@ __all__ = [
     "BufferArena",
     "use_arena",
     "active_arena",
+    "ExecutionContext",
+    "execution_context",
     "Module",
     "ModuleList",
     "Parameter",

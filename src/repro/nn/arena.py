@@ -25,13 +25,19 @@ Two contracts follow from the recycling:
 
 * anything that must survive the scope (the returned prediction) must be
   copied out before the scope exits — the model ``predict`` helpers do;
-* like ``no_grad`` itself, the active-arena state is process-global and
-  not thread-safe.
+* the *active-arena* state is thread-local (it lives in the
+  :class:`~repro.nn.context.ExecutionContext`), so every thread scopes
+  its own arena independently — but a single :class:`BufferArena`
+  instance is not itself thread-safe: never activate one arena on two
+  threads at once (give each thread its own, the way
+  :meth:`repro.nn.Module._inference_arena` does).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .context import _CONTEXT as _CTX
 
 __all__ = ["BufferArena", "use_arena", "active_arena"]
 
@@ -39,25 +45,42 @@ __all__ = ["BufferArena", "use_arena", "active_arena"]
 class BufferArena:
     """A ``(shape, dtype)``-keyed pool of reusable numpy buffers."""
 
-    __slots__ = ("_free", "_in_use", "hits", "misses")
+    __slots__ = ("_free", "_in_use", "_active", "hits", "misses")
 
     def __init__(self) -> None:
         self._free: dict[tuple, list[np.ndarray]] = {}
         self._in_use: list[np.ndarray] = []
+        self._active = 0  # live use_arena scopes (outermost per thread)
         self.hits = 0
         self.misses = 0
+
+    @property
+    def in_active_scope(self) -> bool:
+        """Whether some thread currently has this arena activated.
+
+        Consolidation and handoff (:meth:`absorb`,
+        :meth:`repro.nn.Module.release_arena`) skip active arenas — an
+        arena inside a live ``use_arena`` scope is being written to and
+        must not change hands.
+        """
+        return self._active > 0
 
     def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """Hand out an uninitialised buffer; it stays unavailable for reuse
         until :meth:`release_all` (normally the end of the ``use_arena``
         scope that allocated it)."""
-        key = (shape, dtype)
+        # Normalise the key through np.dtype: callers pass scalar types
+        # (np.float32), strings and dtype instances interchangeably, and
+        # release_all re-keys by buffer.dtype — without normalisation a
+        # scalar-type key never re-hits its own released buffers and the
+        # free pool grows without bound.
+        key = (shape, np.dtype(dtype))
         pool = self._free.get(key)
         if pool:
             buffer = pool.pop()
             self.hits += 1
         else:
-            buffer = np.empty(shape, dtype)
+            buffer = np.empty(shape, key[1])
             self.misses += 1
         self._in_use.append(buffer)
         return buffer
@@ -67,6 +90,31 @@ class BufferArena:
         for buffer in self._in_use:
             self._free.setdefault((buffer.shape, buffer.dtype), []).append(buffer)
         self._in_use.clear()
+
+    def absorb(self, other: "BufferArena") -> "BufferArena":
+        """Move every buffer pooled in ``other`` into this arena's free
+        pools (emptying ``other``), and fold in its hit/miss counters.
+
+        Used when per-thread arenas are consolidated for handoff (see
+        :meth:`repro.nn.Module.release_arena`): the merged arena carries
+        the union of warm buffers, so whichever thread adopts it re-hits
+        every shape any of the source threads had warmed.  Returns
+        ``self``.  Raises ``ValueError`` if ``other`` is inside a live
+        ``use_arena`` scope — its buffers are mid-write on another
+        thread and absorbing them would alias live data.
+        """
+        if other is self:
+            return self
+        if other.in_active_scope:
+            raise ValueError("cannot absorb an arena that is active in a use_arena scope")
+        other.release_all()
+        for key, pool in other._free.items():
+            self._free.setdefault(key, []).extend(pool)
+        other._free.clear()
+        self.hits += other.hits
+        self.misses += other.misses
+        other.hits = other.misses = 0
+        return self
 
     def clear(self) -> None:
         """Drop all pooled buffers (frees the memory)."""
@@ -90,13 +138,10 @@ class BufferArena:
         )
 
 
-#: The arena no-grad fast paths allocate from, or None (fresh allocations).
-_ACTIVE: BufferArena | None = None
-
-
 def active_arena() -> BufferArena | None:
-    """The arena currently supplying no-grad op outputs, if any."""
-    return _ACTIVE
+    """The arena currently supplying no-grad op outputs on the calling
+    thread, if any."""
+    return _CTX.arena
 
 
 def request(shape: tuple[int, ...], dtype) -> np.ndarray | None:
@@ -105,17 +150,20 @@ def request(shape: tuple[int, ...], dtype) -> np.ndarray | None:
     ``None`` is exactly what ufunc ``out=`` expects when no arena is
     active, so call sites can pass the result straight through.
     """
-    arena = _ACTIVE
+    arena = _CTX.arena
     return arena.take(shape, dtype) if arena is not None else None
 
 
 class use_arena:
-    """Context manager activating ``arena`` for no-grad op outputs.
+    """Context manager activating ``arena`` for no-grad op outputs on the
+    calling thread.
 
-    On exit the previous arena (usually None) is restored and every
-    buffer handed out inside the scope returns to the free pool.
+    On exit the thread's previous arena (usually None) is restored and
+    every buffer handed out inside the scope returns to the free pool.
     Re-entering with the *same* arena nests safely: the inner scope
-    leaves release to the outermost owner.
+    leaves release to the outermost owner.  The active-arena slot is
+    thread-local, so concurrent ``use_arena`` scopes on different
+    threads — each with its own arena — never see each other.
     """
 
     def __init__(self, arena: BufferArena):
@@ -123,13 +171,17 @@ class use_arena:
         self._prev: BufferArena | None = None
 
     def __enter__(self) -> BufferArena:
-        global _ACTIVE
-        self._prev = _ACTIVE
-        _ACTIVE = self._arena
+        self._prev = _CTX.arena
+        _CTX.arena = self._arena
+        if self._arena is not None and self._prev is not self._arena:
+            # Outermost scope marks the arena active so consolidation /
+            # handoff (Module.release_arena, dead-thread harvesting)
+            # never steals an arena that is mid-forward on some thread.
+            self._arena._active += 1
         return self._arena
 
     def __exit__(self, *exc) -> None:
-        global _ACTIVE
-        _ACTIVE = self._prev
+        _CTX.arena = self._prev
         if self._arena is not None and self._prev is not self._arena:
             self._arena.release_all()
+            self._arena._active -= 1

@@ -7,6 +7,7 @@ exposes ``state_dict``/``load_state_dict`` for serialization.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 import numpy as np
@@ -82,35 +83,112 @@ class Module:
         for param in self.parameters():
             param.grad = None
 
+    def _arena_state(self) -> dict:
+        state = self.__dict__.get("_arenas")
+        if state is None:
+            # One shared mutable slot; dict.setdefault is atomic under the
+            # GIL so two threads racing the first predict agree on one
+            # state dict.  (The plain-get fast path above keeps the dict/
+            # Lock construction off every subsequent predict call.)
+            state = self.__dict__.setdefault(
+                "_arenas", {"lock": threading.Lock(), "by_thread": {}, "spares": []}
+            )
+        return state
+
     def _inference_arena(self) -> BufferArena:
-        """The module's buffer arena for graph-free inference, created on
-        first use and reused across every subsequent predict call."""
-        arena = self.__dict__.get("_predict_arena")
+        """The calling thread's buffer arena for graph-free inference.
+
+        Created on first use and reused across every subsequent predict
+        call *from that thread*.  Each thread gets a private arena —
+        a :class:`BufferArena` must never be active on two threads at
+        once — so concurrent ``predict`` calls on one module are safe
+        and bitwise-equal to their sequential answers.  Arenas adopted
+        via :meth:`adopt_arena` (and arenas abandoned by finished
+        threads) sit in a spare pool that new threads claim before
+        allocating fresh, so warm buffers keep circulating.
+        """
+        state = self._arena_state()
+        by_thread = state["by_thread"]
+        # Keyed by the Thread *object*, not the ident: idents are reused
+        # after a thread dies, so an ident key could hand a dead thread's
+        # arena to its ident-successor while a concurrent harvest (working
+        # from a momentarily stale liveness snapshot) steals it — object
+        # identity is never reused while the entry exists.
+        me = threading.current_thread()
+        arena = by_thread.get(me)
         if arena is None:
-            arena = BufferArena()
-            self._predict_arena = arena
+            with state["lock"]:
+                # Harvest arenas of threads that have finished, reclaiming
+                # their warm buffers for new threads.  The in_active_scope
+                # guard additionally shields any thread caught between
+                # claiming its arena and activating it.
+                dead = [
+                    t
+                    for t, candidate in by_thread.items()
+                    if not t.is_alive() and not candidate.in_active_scope
+                ]
+                for thread_dead in dead:
+                    state["spares"].append(by_thread.pop(thread_dead))
+                arena = state["spares"].pop() if state["spares"] else BufferArena()
+                by_thread[me] = arena
         return arena
 
     def adopt_arena(self, arena: BufferArena) -> "Module":
         """Hand this module a (possibly pre-warmed) inference arena.
 
-        Subsequent ``predict``/``predict_batch`` calls allocate from
-        ``arena`` instead of a fresh one, so a serving pool can pass the
-        buffer pool of an evicted model to its replacement — same-shaped
-        workspaces rehit instead of being reallocated (see
+        The arena joins the module's spare pool and is claimed by the
+        next thread that needs one (threads already holding a private
+        arena keep it), so a serving pool can pass the buffer pool of an
+        evicted model to its replacement — same-shaped workspaces rehit
+        instead of being reallocated (see
         :class:`repro.serving.ModelPool`).  Returns ``self``.
         """
-        self._predict_arena = arena
+        state = self._arena_state()
+        with state["lock"]:
+            state["spares"].append(arena)
         return self
 
     def release_arena(self) -> BufferArena | None:
-        """Detach and return this module's inference arena, if it has one.
+        """Detach and return this module's inference arena(s), if any.
 
-        The arena's pooled buffers survive detachment, so the caller can
-        hand them to another module via :meth:`adopt_arena`.
+        Consolidates (via :meth:`BufferArena.absorb`) only the arenas
+        that are quiescent *by construction*: the calling thread's own
+        arena, arenas of threads that no longer exist, and unclaimed
+        spares.  An arena mapped to any *other live* thread may enter a
+        ``use_arena`` scope at any moment (there is no lock spanning the
+        thread's claim and its activation), so those are left in place
+        untouched — a pool eviction racing a serving worker never steals
+        or aliases a live arena; that worker's warm buffers are simply
+        not recycled.  The merged arena's pooled buffers survive
+        detachment, so the caller can hand them to another module via
+        :meth:`adopt_arena`.  Returns ``None`` when nothing was
+        harvestable.
         """
-        arena = self.__dict__.pop("_predict_arena", None)
-        return arena
+        state = self.__dict__.pop("_arenas", None)
+        if state is None:
+            return None
+        with state["lock"]:
+            by_thread = state["by_thread"]
+            caller = threading.current_thread()
+            candidates = list(state["spares"])
+            state["spares"].clear()
+            for thread in list(by_thread):
+                if thread is caller or not thread.is_alive():
+                    candidates.append(by_thread.pop(thread))
+        merged = None
+        for arena in candidates:
+            # Belt and braces for threads invisible to threading.enumerate
+            # (foreign/embedded threads): skip anything that activated.
+            if arena.in_active_scope:
+                continue
+            if merged is None:
+                merged = arena
+                continue
+            try:
+                merged.absorb(arena)
+            except ValueError:  # activated between the check and the absorb
+                continue
+        return merged
 
     # ------------------------------------------------------------------
     # Serialization

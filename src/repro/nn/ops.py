@@ -5,6 +5,12 @@ via im2col/col2im.  ST-HSL uses 2-D convolutions over the region grid
 (Eq 2 of the paper) and 1-D convolutions over the time axis (Eqs 3 and 5);
 several baselines (ST-ResNet, STGCN, GWN, STDN, DMSTGCN) also build on
 these primitives.
+
+Grad mode and the workspace-supplying arena are read through the
+thread-local :class:`~repro.nn.context.ExecutionContext` (via
+:func:`~repro.nn.tensor.is_grad_enabled` and
+:func:`~repro.nn.arena.request`), so convolutions on concurrent threads
+never observe each other's ``no_grad``/``use_arena`` scopes.
 """
 
 from __future__ import annotations

@@ -16,6 +16,12 @@ Design notes
   :func:`unbroadcast`, mirroring numpy broadcasting semantics exactly.
 * Arrays are stored as ``float64`` by default, which keeps finite-difference
   gradient checks (see ``tests/nn/test_gradcheck.py``) tight.
+* All ambient execution state — the grad flag, the active arena, the
+  default dtype — lives in the thread-local
+  :class:`~repro.nn.context.ExecutionContext`, so ``no_grad``/
+  ``use_arena``/``dtype_scope`` scopes opened on one thread never leak
+  into another; concurrent inference and training are isolated per
+  thread.
 * Inside :class:`no_grad`, every op takes a *graph-free fast path*: the
   backward closure is never constructed, no parents are tracked, the
   result is wrapped by the slim :meth:`Tensor._from_array` constructor,
@@ -32,7 +38,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from . import arena as _arena
+from .context import _CONTEXT as _CTX
 
 __all__ = [
     "Tensor",
@@ -44,17 +50,16 @@ __all__ = [
     "dtype_scope",
 ]
 
-_GRAD_ENABLED = True
-
 # ---------------------------------------------------------------------------
 # Compute dtype control
 # ---------------------------------------------------------------------------
 # float64 keeps finite-difference gradient checks tight and is the default;
 # float32 halves memory traffic on the conv/matmul hot paths and is exposed
 # as an opt-in compute mode (see STHSLConfig.compute_dtype and the perf
-# harness under benchmarks/perf/).
+# harness under benchmarks/perf/).  The active default lives in the
+# thread-local ExecutionContext, so a dtype_scope on one thread cannot
+# recast tensors another thread is creating concurrently.
 _FLOAT64 = np.dtype(np.float64)
-_DEFAULT_DTYPE = _FLOAT64
 _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
@@ -63,29 +68,30 @@ def set_default_dtype(dtype) -> None:
 
     Integer/bool inputs are always promoted to this dtype; float inputs are
     recast only when a non-float64 default is active, so the float64 default
-    preserves historical behaviour exactly.
+    preserves historical behaviour exactly.  Applies to the calling thread
+    only (the state is thread-local).
     """
-    global _DEFAULT_DTYPE
     resolved = np.dtype(dtype)
     if resolved not in _ALLOWED_DTYPES:
         raise ValueError(f"default dtype must be float32 or float64, got {dtype!r}")
-    _DEFAULT_DTYPE = resolved
+    _CTX.default_dtype = resolved
 
 
 def get_default_dtype() -> np.dtype:
-    """Return the dtype used for newly created tensors."""
-    return _DEFAULT_DTYPE
+    """Return the dtype used for newly created tensors (this thread's)."""
+    return _CTX.default_dtype
 
 
 class dtype_scope:
-    """Context manager that temporarily switches the default compute dtype."""
+    """Context manager that temporarily switches the default compute dtype
+    for the calling thread."""
 
     def __init__(self, dtype):
         self._dtype = dtype
         self._prev: np.dtype | None = None
 
     def __enter__(self) -> "dtype_scope":
-        self._prev = _DEFAULT_DTYPE
+        self._prev = _CTX.default_dtype
         set_default_dtype(self._dtype)
         return self
 
@@ -99,23 +105,23 @@ class no_grad:
     Mirrors ``torch.no_grad()``: inside the block, results of operations on
     tensors that require grad do not require grad themselves.  Ops take the
     graph-free fast path — no backward closures, no parent tracking, and
-    arena-backed output buffers when one is active.
+    arena-backed output buffers when one is active.  The flag is
+    thread-local: a ``no_grad`` scope on one thread leaves gradient
+    recording untouched on every other.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _CTX.grad_enabled
+        _CTX.grad_enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _CTX.grad_enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations record gradient information."""
-    return _GRAD_ENABLED
+    """Whether new operations record gradient information (this thread)."""
+    return _CTX.grad_enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -164,10 +170,11 @@ def _as_array(value, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("pass Tensor.data, not Tensor, to _as_array")
     arr = np.asarray(value, dtype=dtype)
+    default = _CTX.default_dtype
     if arr.dtype.kind in "iub":
-        arr = arr.astype(_DEFAULT_DTYPE)
-    elif arr.dtype.kind == "f" and _DEFAULT_DTYPE != np.float64 and arr.dtype != _DEFAULT_DTYPE:
-        arr = arr.astype(_DEFAULT_DTYPE)
+        arr = arr.astype(default)
+    elif arr.dtype.kind == "f" and default != np.float64 and arr.dtype != default:
+        arr = arr.astype(default)
     return arr
 
 
@@ -187,14 +194,14 @@ def _as_array(value, dtype=None) -> np.ndarray:
 
 
 def _unary_out(x: np.ndarray) -> np.ndarray | None:
-    arena = _arena._ACTIVE
+    arena = _CTX.arena
     if arena is None or not x.flags.c_contiguous:
         return None
     return arena.take(x.shape, x.dtype)
 
 
 def _binary_out(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
-    arena = _arena._ACTIVE
+    arena = _CTX.arena
     if arena is None or a.dtype != b.dtype:
         return None
     if b.ndim == 0:
@@ -207,7 +214,7 @@ def _binary_out(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
 
 
 def _matmul_out(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
-    arena = _arena._ACTIVE
+    arena = _CTX.arena
     if arena is None or a.dtype != b.dtype or a.ndim < 2 or b.ndim < 2:
         return None
     batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
@@ -222,7 +229,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _CTX.grad_enabled
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -286,12 +293,13 @@ class Tensor:
         """
         if not isinstance(data, np.ndarray):
             data = np.asarray(data)
-        if data.dtype is not _DEFAULT_DTYPE:
+        default = _CTX.default_dtype
+        if data.dtype is not default:
             kind = data.dtype.kind
             if kind in "iub":
-                data = data.astype(_DEFAULT_DTYPE)
-            elif kind == "f" and _DEFAULT_DTYPE is not _FLOAT64 and data.dtype != _DEFAULT_DTYPE:
-                data = data.astype(_DEFAULT_DTYPE)
+                data = data.astype(default)
+            elif kind == "f" and default is not _FLOAT64 and data.dtype != default:
+                data = data.astype(default)
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
@@ -312,7 +320,7 @@ class Tensor:
         ``backward`` receives the output tensor and must accumulate into
         each parent's ``grad``.
         """
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _CTX.grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor._from_array(data)
         if requires:
             out.requires_grad = True
@@ -407,7 +415,7 @@ class Tensor:
 
     def __add__(self, other) -> "Tensor":
         other = self._coerce_like(other)
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             a, b = self.data, other.data
             return Tensor._from_array(np.add(a, b, out=_binary_out(a, b)))
 
@@ -426,7 +434,7 @@ class Tensor:
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce_like(other)
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             a, b = self.data, other.data
             return Tensor._from_array(np.subtract(a, b, out=_binary_out(a, b)))
 
@@ -441,7 +449,7 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce_like(other)
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             a, b = self.data, other.data
             return Tensor._from_array(np.multiply(a, b, out=_binary_out(a, b)))
 
@@ -455,7 +463,7 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce_like(other)
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             a, b = self.data, other.data
             return Tensor._from_array(np.divide(a, b, out=_binary_out(a, b)))
 
@@ -469,7 +477,7 @@ class Tensor:
         return self._coerce_like(other) / self
 
     def __neg__(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.negative(self.data, out=_unary_out(self.data)))
 
         def backward(out: Tensor) -> None:
@@ -480,7 +488,7 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(self.data ** exponent)
 
         def backward(out: Tensor) -> None:
@@ -505,7 +513,7 @@ class Tensor:
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.exp(self.data, out=_unary_out(self.data)))
         result = np.exp(self.data)
 
@@ -515,7 +523,7 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def log(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.log(self.data, out=_unary_out(self.data)))
 
         def backward(out: Tensor) -> None:
@@ -524,7 +532,7 @@ class Tensor:
         return Tensor._make(np.log(self.data), (self,), backward)
 
     def sqrt(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.sqrt(self.data, out=_unary_out(self.data)))
         result = np.sqrt(self.data)
 
@@ -534,7 +542,7 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def abs(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.abs(self.data, out=_unary_out(self.data)))
 
         def backward(out: Tensor) -> None:
@@ -543,7 +551,7 @@ class Tensor:
         return Tensor._make(np.abs(self.data), (self,), backward)
 
     def tanh(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.tanh(self.data, out=_unary_out(self.data)))
         result = np.tanh(self.data)
 
@@ -553,7 +561,7 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             # Same IEEE op sequence as the graph path, chained in one
             # (arena-reusable) buffer: clip -> negate -> exp -> +1 -> 1/x.
             r = np.clip(self.data, -60.0, 60.0, out=_unary_out(self.data))
@@ -570,7 +578,7 @@ class Tensor:
         return Tensor._make(result, (self,), backward)
 
     def relu(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.maximum(self.data, 0.0, out=_unary_out(self.data)))
         mask = self.data > 0
 
@@ -581,7 +589,7 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         """LeakyReLU, the activation used throughout ST-HSL (paper σ(·))."""
-        if not _GRAD_ENABLED and 0.0 < negative_slope <= 1.0:
+        if not _CTX.grad_enabled and 0.0 < negative_slope <= 1.0:
             # max(x, slope*x) == x*where(x>0, 1, slope) for slope in (0, 1],
             # multiply-by-1.0 being exact — one temp instead of two.  Slope
             # 0 is excluded: 0*inf = NaN would poison the maximum, where
@@ -592,7 +600,7 @@ class Tensor:
             return Tensor._from_array(r)
         one = self.data.dtype.type(1.0)  # keep float32 graphs in float32
         factor = np.where(self.data > 0, one, self.data.dtype.type(negative_slope))
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.multiply(self.data, factor, out=factor))
 
         def backward(out: Tensor) -> None:
@@ -601,7 +609,7 @@ class Tensor:
         return Tensor._make(self.data * factor, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.clip(self.data, low, high, out=_unary_out(self.data)))
         mask = (self.data >= low) & (self.data <= high)
 
@@ -614,7 +622,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(self.data.sum(axis=axis, keepdims=keepdims))
 
         def backward(out: Tensor) -> None:
@@ -626,7 +634,7 @@ class Tensor:
         return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(self.data.mean(axis=axis, keepdims=keepdims))
         if axis is None:
             count = self.data.size
@@ -649,7 +657,7 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         result = self.data.max(axis=axis, keepdims=keepdims)
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(result)
         # Shape of the result with reduced axes kept as size-1: broadcasts
         # against self.data for every axis/keepdims combination, including
@@ -681,7 +689,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(self.data.reshape(shape))
 
         def backward(out: Tensor) -> None:
@@ -693,7 +701,7 @@ class Tensor:
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         axes = axes or None
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(self.data.transpose(axes) if axes else self.data.T)
 
         if axes is None:
@@ -712,7 +720,7 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def expand_dims(self, axis: int) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.expand_dims(self.data, axis))
 
         def backward(out: Tensor) -> None:
@@ -721,7 +729,7 @@ class Tensor:
         return Tensor._make(np.expand_dims(self.data, axis), (self,), backward)
 
     def squeeze(self, axis: int) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.squeeze(self.data, axis=axis))
 
         def backward(out: Tensor) -> None:
@@ -730,7 +738,7 @@ class Tensor:
         return Tensor._make(np.squeeze(self.data, axis=axis), (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(self.data[index])
 
         def backward(out: Tensor) -> None:
@@ -750,7 +758,7 @@ class Tensor:
 
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad with numpy-style ``pad_width`` (list of (before, after))."""
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(_padded(self.data, pad_width))
         slices = tuple(
             slice(before, before + dim) for (before, _after), dim in zip(pad_width, self.data.shape)
@@ -767,7 +775,7 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce_like(other)
         a, b = self.data, other.data
-        if not _GRAD_ENABLED:
+        if not _CTX.grad_enabled:
             return Tensor._from_array(np.matmul(a, b, out=_matmul_out(a, b)))
 
         def backward(out: Tensor) -> None:
@@ -826,7 +834,7 @@ def _padded(data: np.ndarray, pad_width) -> np.ndarray:
     order, and layout must match the graph path exactly (see the arena
     helper notes above).
     """
-    arena = _arena._ACTIVE
+    arena = _CTX.arena
     if arena is None or not data.flags.c_contiguous:
         return np.pad(data, pad_width)
     out_shape = tuple(dim + before + after for (before, after), dim in zip(pad_width, data.shape))
@@ -841,7 +849,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.concatenate`` over a sequence of tensors."""
     tensors = list(tensors)
     datas = [t.data for t in tensors]
-    if not _GRAD_ENABLED:
+    if not _CTX.grad_enabled:
         return Tensor._from_array(np.concatenate(datas, axis=axis))
     sizes = [d.shape[axis] for d in datas]
     offsets = np.cumsum([0] + sizes)
@@ -858,7 +866,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.stack``."""
     tensors = list(tensors)
-    if not _GRAD_ENABLED:
+    if not _CTX.grad_enabled:
         return Tensor._from_array(np.stack([t.data for t in tensors], axis=axis))
 
     def backward(out: Tensor) -> None:
@@ -874,7 +882,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = Tensor._coerce(a)
     b = Tensor._coerce(b)
     condition = np.asarray(condition)
-    if not _GRAD_ENABLED:
+    if not _CTX.grad_enabled:
         return Tensor._from_array(np.where(condition, a.data, b.data))
 
     def backward(out: Tensor) -> None:

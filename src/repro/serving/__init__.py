@@ -8,15 +8,17 @@ that absorbs concurrent traffic:
   models stays resident and model swaps skip allocator warm-up.
 * :class:`ForecastService` — a thread-safe frontend that coalesces
   concurrent predict requests into cross-request micro-batches through
-  the model's graph-free ``predict_batch`` fast path.  Throughput comes
-  from batching *independent clients together*, not from threads: all
-  inference runs on one worker, which is also what keeps the
-  process-global no-grad/arena state safe.
+  the model's graph-free ``predict_batch`` fast path, drained by a pool
+  of ``workers=N`` threads.  The no-grad/arena/dtype execution state is
+  thread-local (:class:`repro.nn.ExecutionContext`), so parallel workers
+  return exactly the sequential answers; on one core, keep the default
+  single worker and let micro-batching do the work.
 * :class:`ShardRouter` — region sharding for grids too large for one
   model: each shard artifact owns a contiguous row band, the router
-  slices incoming windows per band and merges the outputs.  A router is
-  itself a valid ``ForecastService`` backend, so sharding and
-  micro-batching compose.
+  slices incoming windows per band (``parallel=True`` fans the bands out
+  to per-shard threads) and merges the outputs.  A router is itself a
+  valid ``ForecastService`` backend, so sharding and micro-batching
+  compose.
 
 Usage
 -----
@@ -26,7 +28,7 @@ Serve one artifact to concurrent clients::
     from repro.serving import ForecastService, ModelPool
 
     pool = ModelPool(capacity=4, served_dtype="float32")
-    with ForecastService(pool.get("sthsl.npz"), max_batch=8) as service:
+    with ForecastService(pool.get("sthsl.npz"), max_batch=8, workers=2) as service:
         counts = service.predict(history)        # from any thread
     print(service.stats().to_dict())             # req/s, batch size, latency
 

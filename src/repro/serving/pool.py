@@ -66,10 +66,11 @@ class ModelPool:
     ``served_dtype`` an artifact's manifest carries (load artifacts
     directly through :meth:`Forecaster.load` to honour per-artifact
     manifest pins instead).  It is best-effort per model — builders
-    without a dtype knob load at native precision.  All methods are
-    thread-safe; the predict paths of the returned forecasters are not —
-    route inference through one worker (what
-    :class:`~repro.serving.ForecastService` does).
+    without a dtype knob load at native precision.  All pool methods are
+    thread-safe, and the returned forecasters' predict paths are too
+    (execution state is thread-local and every thread predicts under its
+    own per-thread arena), so :class:`~repro.serving.ForecastService`
+    worker pools can serve one pool entry from several threads at once.
     """
 
     def __init__(

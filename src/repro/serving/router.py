@@ -24,6 +24,8 @@ their cross-region context.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 
 import numpy as np
@@ -150,15 +152,22 @@ class ShardRouter:
     regions, and the outputs concatenate back to ``(R, C)`` (or
     ``(B, R, C)``).  Usage::
 
-        router = ShardRouter.from_artifacts(paths, pool=pool)
+        router = ShardRouter.from_artifacts(paths, pool=pool, parallel=True)
         counts = router.predict(window)                 # full-grid in/out
         service = ForecastService(router)               # drop-in backend
 
     The router is itself a valid :class:`~repro.serving.ForecastService`
     backend — sharding and cross-request micro-batching compose.
+
+    ``parallel=True`` fans each request out to the shard models on a
+    pool of threads (one per shard): every shard predicts under its own
+    thread-local execution context and per-thread arena, so the merged
+    output is bitwise-identical to the sequential loop while shards
+    overlap on multi-core hardware.  The default stays sequential — on
+    a single core the fan-out only adds thread hand-off latency.
     """
 
-    def __init__(self, shards: list[Forecaster]):
+    def __init__(self, shards: list[Forecaster], *, parallel: bool = False):
         if not shards:
             raise ValueError("ShardRouter needs at least one shard forecaster")
         missing = [fc.model_name for fc in shards if not fc.shard]
@@ -198,19 +207,77 @@ class ShardRouter:
                   int(fc.shard["row_stop"]) * self.geometry.cols)
             for fc in self.shards
         ]
+        self.parallel = bool(parallel) and len(self.shards) > 1
+        self._executors: list[ThreadPoolExecutor] | None = None
+        self._executor_lock = threading.Lock()
 
     @classmethod
-    def from_artifacts(cls, paths, *, pool=None, served_dtype: str | None = None) -> "ShardRouter":
+    def from_artifacts(
+        cls,
+        paths,
+        *,
+        pool=None,
+        served_dtype: str | None = None,
+        parallel: bool = False,
+    ) -> "ShardRouter":
         """Assemble a router from shard artifact files.
 
         With a :class:`~repro.serving.ModelPool` the shards load through
         (and are pinned in) the pool; without one they load directly::
 
             router = ShardRouter.from_artifacts(["s0.npz", "s1.npz"])
+
+        ``parallel=True`` enables the per-shard thread fan-out (see the
+        class docstring).
         """
         if pool is not None:
-            return cls([pool.pin(path) for path in paths])
-        return cls([Forecaster.load(path, served_dtype=served_dtype) for path in paths])
+            return cls([pool.pin(path) for path in paths], parallel=parallel)
+        return cls(
+            [Forecaster.load(path, served_dtype=served_dtype) for path in paths],
+            parallel=parallel,
+        )
+
+    def _shard_executors(self) -> list[ThreadPoolExecutor]:
+        # Created on first parallel predict so sequential routers (and
+        # routers built only for validation) never spawn threads.  One
+        # single-thread executor *per shard* pins shard i to worker i:
+        # each shard model is only ever predicted by its own thread, so
+        # the per-(model, thread) arenas stay at S warm pools instead of
+        # the S^2 a shared pool's arbitrary task placement would warm.
+        if self._executors is None:
+            with self._executor_lock:
+                if self._executors is None:
+                    self._executors = [
+                        ThreadPoolExecutor(
+                            max_workers=1, thread_name_prefix=f"shard-router-{index}"
+                        )
+                        for index in range(len(self.shards))
+                    ]
+        return self._executors
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pools, if any were created.
+
+        Safe to call on sequential routers (no-op) and idempotent; the
+        router falls back to creating fresh pools if predicted again.
+        """
+        with self._executor_lock:
+            executors, self._executors = self._executors, None
+        for executor in executors or ():
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardRouter":
+        """Context-manager support so parallel routers release their
+        fan-out threads deterministically::
+
+            with ShardRouter(shards, parallel=True) as router:
+                counts = router.predict(window)
+        """
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the fan-out thread pool on scope exit."""
+        self.close()
 
     @property
     def num_shards(self) -> int:
@@ -222,8 +289,9 @@ class ShardRouter:
 
         ``window`` is ``(R, W, C)`` or a stacked ``(B, R, W, C)`` batch
         over the *parent* grid; the region axis is sliced per shard band,
-        each shard model predicts its regions, and the merged result has
-        the parent's region count again.
+        each shard model predicts its regions (on parallel threads when
+        the router was built with ``parallel=True``), and the merged
+        result has the parent's region count again.
         """
         window = np.asarray(window, dtype=float)
         region_axis = window.ndim - 3
@@ -232,8 +300,22 @@ class ShardRouter:
                 f"expected a ({self.geometry.num_regions}, W, C) window or batch "
                 f"over the parent grid, got shape {window.shape}"
             )
-        parts = [
-            fc.predict(window[(slice(None),) * region_axis + (band,)])
-            for fc, band in zip(self.shards, self._slices)
-        ]
+        slices = [window[(slice(None),) * region_axis + (band,)] for band in self._slices]
+        if self.parallel:
+            try:
+                futures = [
+                    executor.submit(fc.predict, part)
+                    for executor, fc, part in zip(self._shard_executors(), self.shards, slices)
+                ]
+            except RuntimeError:
+                # close() raced this predict and shut the snapshot of
+                # executors down before submit ran.  Predict is pure, so
+                # falling back to the sequential loop (re-predicting any
+                # shards that did get submitted) returns the identical
+                # answer instead of failing the request.
+                parts = [fc.predict(part) for fc, part in zip(self.shards, slices)]
+            else:
+                parts = [future.result() for future in futures]
+        else:
+            parts = [fc.predict(part) for fc, part in zip(self.shards, slices)]
         return np.concatenate(parts, axis=region_axis)

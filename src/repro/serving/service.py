@@ -1,22 +1,27 @@
-"""Forecast service: cross-request micro-batching over one worker.
+"""Forecast service: cross-request micro-batching over a worker pool.
 
 Concurrent clients each want one window predicted; the model is fastest
 when windows run through ``predict_batch`` together.  The
 :class:`ForecastService` bridges the two: requests from any thread land
-on a queue, a single worker coalesces whatever is waiting (up to
+on a queue, worker threads coalesce whatever is waiting (up to
 ``max_batch``, holding the batch open at most ``max_delay`` seconds for
-stragglers) into one stacked batch through the backend's vectorized
+stragglers) into stacked batches through the backend's vectorized
 no-grad path, and each caller gets its own row of the result.
 
-Throughput therefore comes from *coalescing independent clients* — the
-architectural step past PR 3's single-caller batching — while the
-single worker keeps the process-global ``no_grad``/arena state (which is
-not thread-safe) on one thread by construction.
+Throughput comes from *coalescing independent clients* — the
+architectural step past PR 3's single-caller batching — and, on
+multi-core hardware, from running ``workers=N`` threads that drain the
+queue in parallel.  Parallel workers are safe because the whole
+``no_grad``/arena/dtype execution state is thread-local (the
+:class:`~repro.nn.context.ExecutionContext`) and every worker predicts
+under its own per-thread model arena, so concurrent batches never share
+mutable state and each request's answer is the one a sequential call
+would have produced.
 
 Request lifecycle::
 
-    client thread                worker thread
-    -------------                -------------
+    client thread                worker thread (one of N)
+    -------------                ------------------------
     submit(window) ──► queue
     wait on handle      drain up to max_batch (wait ≤ max_delay)
                         np.stack ► backend.predict(batch) ► split rows
@@ -41,10 +46,45 @@ import numpy as np
 __all__ = ["ForecastService", "ServiceStats"]
 
 
-class _PendingRequest:
-    """One submitted window: a tiny future the worker completes."""
+def _rewrap(error: BaseException) -> BaseException:
+    """A fresh exception of ``error``'s type, chained to the original.
 
-    __slots__ = ("window", "result", "error", "enqueued_at", "done_at", "_event")
+    Every waiter raising the *same* stored exception instance would
+    concurrently mutate its ``__traceback__`` (and stack unrelated
+    client frames onto one another), so each ``wait`` raises its own
+    clone with the original attached as ``__cause__``.  Exception types
+    whose constructor does not round-trip ``args`` fall back to the
+    original instance.
+    """
+    if isinstance(error, OSError):
+        # errno/filename are C-level state that args does not round-trip;
+        # a clone would silently lose them.  Hand back the original.
+        return error
+    try:
+        clone = type(error)(*error.args)
+    except Exception:  # noqa: BLE001 - exotic constructor signature
+        return error
+    if type(clone) is not type(error) or clone.args != error.args:
+        # A constructor that transforms its arguments (e.g. wraps them in
+        # a formatted message) would re-apply the transformation to the
+        # already-transformed args; only clones that round-trip exactly
+        # are safe to substitute.
+        return error
+    # Carry over state that lives outside args (OSError.filename, custom
+    # attributes set after construction) so the clone is inspectable
+    # without digging through __cause__.
+    try:
+        clone.__dict__.update(error.__dict__)
+    except Exception:  # noqa: BLE001 - exotic __dict__/slots
+        pass
+    clone.__cause__ = error
+    return clone
+
+
+class _PendingRequest:
+    """One submitted window: a tiny future a worker completes."""
+
+    __slots__ = ("window", "result", "error", "enqueued_at", "done_at", "abandoned", "_event")
 
     def __init__(self, window: np.ndarray):
         self.window = window
@@ -52,6 +92,9 @@ class _PendingRequest:
         self.error: BaseException | None = None
         self.enqueued_at = time.perf_counter()
         self.done_at: float | None = None
+        #: Set when a waiter timed out: the late completion still fulfils
+        #: the handle but is excluded from the service latency stats.
+        self.abandoned = False
         self._event = threading.Event()
 
     def done(self) -> bool:
@@ -59,9 +102,10 @@ class _PendingRequest:
 
     def wait(self, timeout: float | None = None) -> np.ndarray:
         if not self._event.wait(timeout):
+            self.abandoned = True
             raise TimeoutError("prediction did not complete in time")
         if self.error is not None:
-            raise self.error
+            raise _rewrap(self.error)
         return self.result
 
     def _complete(self, result: np.ndarray | None, error: BaseException | None) -> None:
@@ -111,7 +155,7 @@ class ForecastService:
     Usage::
 
         fc = pool.get("model.npz")
-        with ForecastService(fc, max_batch=8) as service:
+        with ForecastService(fc, max_batch=8, workers=2) as service:
             counts = service.predict(window)            # blocking call
             handles = [service.submit(w) for w in ws]   # pipelined client
             results = [h.wait() for h in handles]
@@ -119,27 +163,37 @@ class ForecastService:
 
     ``max_batch`` bounds the coalesced batch (small batches are the
     single-core sweet spot — see ROADMAP Performance); ``max_delay`` is
-    how long the worker holds an under-full batch open for stragglers.
+    how long a worker holds an under-full batch open for stragglers.
     The default 2 ms is far below model latency, so it costs essentially
     no added latency while letting a burst of concurrent clients land in
-    one batch.  All inference runs on the service's single worker
-    thread, which keeps the process-global no-grad/arena fast path
-    single-threaded by construction.
+    one batch.  ``workers`` sizes the worker-thread pool draining the
+    shared queue: 1 (the default) serialises all inference on one
+    thread; N > 1 runs up to N batches in parallel, each worker
+    predicting under its own thread-local execution context and
+    per-thread model arena, so results stay identical to the sequential
+    answers — on multi-core hardware this is the serving throughput
+    lever.
     """
 
-    def __init__(self, backend, *, max_batch: int = 8, max_delay: float = 0.002):
+    def __init__(
+        self, backend, *, max_batch: int = 8, max_delay: float = 0.002, workers: int = 1
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.backend = backend
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self.workers = workers
         self._pending: deque[_PendingRequest] = deque()
         self._cond = threading.Condition()
         self._alive = False
         self._last_batch = 0
-        self._worker: threading.Thread | None = None
+        self._generation = 0
+        self._threads: list[threading.Thread] = []
         self._requests = 0
         self._batches = 0
         self._coalesced = 0
@@ -150,32 +204,55 @@ class ForecastService:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ForecastService":
-        """Start the worker thread (idempotent); returns ``self``."""
+        """Start the worker thread pool (idempotent); returns ``self``."""
         with self._cond:
             if self._alive:
                 return self
             self._alive = True
             self._started_at = time.perf_counter()
-            self._worker = threading.Thread(
-                target=self._run, name="forecast-service", daemon=True
-            )
-            self._worker.start()
+            # Workers capture the generation they were started under; a
+            # worker from a previous generation that outlived its stop()
+            # timeout (stuck in a slow backend call) retires itself on its
+            # next drain instead of rejoining the new pool.
+            self._generation += 1
+            generation = self._generation
+            fresh = [
+                threading.Thread(
+                    target=self._run,
+                    args=(generation,),
+                    name=f"forecast-service-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+            # Keep any orphaned previous-generation threads tracked so a
+            # later stop() still joins them once they come unstuck.
+            self._threads = [t for t in self._threads if t.is_alive()] + fresh
+            for thread in fresh:
+                thread.start()
         return self
 
     def stop(self, timeout: float | None = 5.0) -> None:
-        """Drain outstanding requests, then stop the worker.
+        """Drain outstanding requests, then stop the workers.
 
         Requests submitted after ``stop`` raise ``RuntimeError``; requests
-        already queued complete normally before the worker exits.
+        already queued complete normally before the workers exit.
+        ``timeout`` bounds the whole shutdown, not each join — the
+        deadline is shared across the worker pool.
         """
         with self._cond:
             if not self._alive:
                 return
             self._alive = False
             self._cond.notify_all()
-        if self._worker is not None:
-            self._worker.join(timeout)
-            self._worker = None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        # A thread that outlived the timeout (stuck in the backend) stays
+        # tracked: its generation is stale so it exits on its next drain,
+        # and the next stop()/start() accounts for it.
+        self._threads = [t for t in self._threads if t.is_alive()]
 
     def __enter__(self) -> "ForecastService":
         return self.start()
@@ -185,7 +262,7 @@ class ForecastService:
 
     @property
     def running(self) -> bool:
-        """Whether the worker thread is accepting requests."""
+        """Whether the worker pool is accepting requests."""
         return self._alive
 
     # ------------------------------------------------------------------
@@ -266,34 +343,52 @@ class ForecastService:
     # ------------------------------------------------------------------
     # Worker
     # ------------------------------------------------------------------
-    def _drain_batch(self) -> list[_PendingRequest]:
+    def _drain_batch(self, generation: int) -> list[_PendingRequest]:
         """Pop the next micro-batch, holding it open briefly for stragglers.
 
         The hold-open only engages when there is evidence of concurrency
         — more than one request already queued, or the previous batch
         coalesced — so a single sequential client never pays the
         ``max_delay`` on every request.
+
+        Returns an empty list *only* at shutdown: the hold-open wait
+        releases the lock, so with ``workers > 1`` a sibling worker may
+        drain the queue underneath it — finding the deque empty again
+        must loop back to waiting, not hand an empty batch to ``_run``
+        (which would retire the worker thread while the service is
+        alive).
         """
         with self._cond:
-            while not self._pending:
-                if not self._alive:
+            while True:
+                if self._generation != generation:
+                    return []  # superseded by a newer start(): its pool owns the queue
+                while not self._pending:
+                    if not self._alive or self._generation != generation:
+                        return []
+                    self._cond.wait()
+                if self.max_delay > 0.0 and (len(self._pending) > 1 or self._last_batch > 1):
+                    deadline = time.monotonic() + self.max_delay
+                    while (
+                        len(self._pending) < self.max_batch
+                        and self._alive
+                        and self._generation == generation
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            break
+                if self._generation != generation:
                     return []
-                self._cond.wait()
-            if self.max_delay > 0.0 and (len(self._pending) > 1 or self._last_batch > 1):
-                deadline = time.monotonic() + self.max_delay
-                while len(self._pending) < self.max_batch and self._alive:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not self._cond.wait(remaining):
-                        break
-            count = min(len(self._pending), self.max_batch)
-            self._last_batch = count
-            return [self._pending.popleft() for _ in range(count)]
+                count = min(len(self._pending), self.max_batch)
+                if count == 0:
+                    continue  # a sibling worker drained the queue mid-hold-open
+                self._last_batch = count
+                return [self._pending.popleft() for _ in range(count)]
 
-    def _run(self) -> None:
+    def _run(self, generation: int) -> None:
         while True:
-            batch = self._drain_batch()
+            batch = self._drain_batch(generation)
             if not batch:
-                return  # stopped and fully drained
+                return  # stopped (or superseded by a newer start) and drained
             try:
                 stacked = np.stack([request.window for request in batch])
                 predictions = self.backend.predict(stacked)
@@ -315,6 +410,10 @@ class ForecastService:
                 self._batches += 1
                 self._coalesced += len(batch)
                 for request in batch:
-                    self._latencies.append(now - request.enqueued_at)
+                    # A request whose waiter already timed out completes
+                    # arbitrarily late; recording it would skew the
+                    # latency percentiles towards the timeout path.
+                    if not request.abandoned:
+                        self._latencies.append(now - request.enqueued_at)
             for request, (result, error) in zip(batch, outcomes):
                 request._complete(result, error)

@@ -6,9 +6,12 @@ normalised next-day prediction ``(R, C)``.  The trainer only relies on
 objectives (ST-HSL's self-supervision) by overriding ``training_loss``.
 
 Inference runs graph-free: ``predict``/``predict_batch`` execute under
-:class:`~repro.nn.tensor.no_grad` with a per-model
+:class:`~repro.nn.tensor.no_grad` with a per-model, *per-thread*
 :class:`~repro.nn.BufferArena`, so repeated calls reuse one pool of
-preallocated op buffers instead of re-allocating every intermediate.
+preallocated op buffers instead of re-allocating every intermediate —
+and concurrent calls from several threads are isolated (grad mode and
+the active arena live in the thread-local
+:class:`~repro.nn.context.ExecutionContext`).
 """
 
 from __future__ import annotations

@@ -110,7 +110,8 @@ class TestArenaReuse:
     def test_model_arena_is_shared_across_calls(self, dataset, fitted):
         windows = _windows(dataset, 4, seed=7)
         fitted.predict_batch(windows, batch_size=2)
-        arena = fitted.model.__dict__.get("_predict_arena")
+        # The calling thread's arena: same object across calls from here.
+        arena = fitted.model._inference_arena()
         assert arena is not None
         buffers_after_first = arena.num_buffers
         hits_before = arena.hits

@@ -1,0 +1,321 @@
+"""Concurrency stress tests across the serving stack.
+
+The acceptance contract of the thread-local ExecutionContext refactor:
+``Forecaster.predict``/``predict_batch`` called from N threads (covering
+the graph-building, plain no-grad, and arena-backed paths) must produce
+answers *bitwise equal* to the sequential ones; the parallel
+``ShardRouter`` fan-out and the multi-worker ``ForecastService`` must
+preserve the same guarantee; and ``ModelPool.pin`` must honour its
+capacity contract under contention.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.api import DataSpec, ExperimentBudget, Forecaster
+from repro.serving import ForecastService, ModelPool, ShardRouter, train_shards
+
+BUDGET = ExperimentBudget(window=8, epochs=1, train_limit=4, seed=0)
+DATASET = DataSpec(city="nyc", rows=4, cols=4, num_days=60, seed=0).load()
+THREADS = 6  # acceptance asks for >= 4
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return Forecaster("ST-HSL", budget=BUDGET, hidden=6).fit(DATASET)
+
+
+def windows(count, start=10):
+    return [DATASET.tensor[:, t : t + 8, :] for t in range(start, start + count)]
+
+
+def run_threads(worker, count=THREADS):
+    """Run ``worker(idx)`` on ``count`` threads; re-raise the first error."""
+    errors = []
+    barrier = threading.Barrier(count)
+
+    def target(idx):
+        try:
+            barrier.wait()
+            worker(idx)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentForecaster:
+    def test_concurrent_predict_bitwise_equals_sequential(self, fitted):
+        """The arena-backed no-grad path from N threads at once."""
+        per_thread = windows(8)
+        expected = [fitted.predict(w) for w in per_thread]
+        results = {}
+
+        def worker(idx):
+            results[idx] = [fitted.predict(w) for w in per_thread]
+
+        run_threads(worker)
+        for idx in range(THREADS):
+            for got, want in zip(results[idx], expected):
+                assert np.array_equal(got, want)
+
+    def test_concurrent_predict_batch_bitwise_equals_sequential(self, fitted):
+        stacked = np.stack(windows(6))
+        expected = fitted.predict_batch(stacked, batch_size=3)
+        results = {}
+
+        def worker(idx):
+            results[idx] = fitted.predict_batch(stacked, batch_size=3)
+
+        run_threads(worker)
+        for idx in range(THREADS):
+            assert np.array_equal(results[idx], expected)
+
+    def test_concurrent_graph_forward_bitwise_equals_sequential(self, fitted):
+        """The graph-building path (no no_grad, no arena) from N threads:
+        autograd bookkeeping on one thread must not leak into another."""
+        model = fitted.model
+        model.eval()
+        normalized = (windows(1)[0] - fitted.mu) / fitted.sigma
+        expected = model.forward(normalized).prediction.data.copy()
+        results = {}
+
+        def worker(idx):
+            outs = [model.forward(normalized).prediction.data.copy() for _ in range(4)]
+            results[idx] = outs
+
+        run_threads(worker)
+        for idx in range(THREADS):
+            for got in results[idx]:
+                assert np.array_equal(got, expected)
+
+    def test_mixed_grad_and_no_grad_threads(self, fitted):
+        """Half the threads predict under no_grad + arena while the other
+        half build graphs; both must match their sequential answers."""
+        model = fitted.model
+        model.eval()
+        window = windows(1)[0]
+        normalized = (window - fitted.mu) / fitted.sigma
+        expected_predict = fitted.predict(window)
+        expected_graph = model.forward(normalized).prediction.data.copy()
+
+        def worker(idx):
+            for _ in range(5):
+                if idx % 2:
+                    assert np.array_equal(fitted.predict(window), expected_predict)
+                else:
+                    out = model.forward(normalized).prediction.data.copy()
+                    assert np.array_equal(out, expected_graph)
+
+        run_threads(worker)
+
+
+class TestConcurrentService:
+    def test_worker_pool_uncoalesced_is_bitwise_equal(self, fitted):
+        """workers=3, max_batch=1: every request runs exactly the same
+        single-window path a sequential predict does."""
+        reqs = windows(8)
+        expected = [fitted.predict(w) for w in reqs]
+        results = {}
+        with ForecastService(fitted, max_batch=1, workers=3) as service:
+
+            def worker(idx):
+                results[idx] = [service.predict(w) for w in reqs]
+
+            run_threads(worker, count=4)
+            stats = service.stats()
+        assert stats.requests == 4 * len(reqs)
+        for idx in range(4):
+            for got, want in zip(results[idx], expected):
+                assert np.array_equal(got, want)
+
+    def test_worker_pool_with_coalescing_matches_sequential(self, fitted):
+        """workers=2 + micro-batching: coalesced batch composition may
+        round at epsilon scale (same contract as the single-worker
+        service), but results must stay within 1e-10 of sequential."""
+        reqs = windows(8)
+        expected = [fitted.predict(w) for w in reqs]
+        results = {}
+        with ForecastService(fitted, max_batch=4, workers=2, max_delay=0.02) as service:
+
+            def worker(idx):
+                results[idx] = [service.predict(w) for w in reqs]
+
+            run_threads(worker, count=4)
+        for idx in range(4):
+            for got, want in zip(results[idx], expected):
+                assert np.allclose(got, want, atol=1e-10)
+
+    def test_worker_pool_stop_drains_and_restarts(self, fitted):
+        service = ForecastService(fitted, max_batch=2, workers=3).start()
+        handles = [service.submit(w) for w in windows(9)]
+        service.stop()
+        for handle in handles:
+            assert handle.wait(timeout=5).shape == (16, 4)
+        service.start()
+        assert service.predict(windows(1)[0]).shape == (16, 4)
+        service.stop()
+
+    def test_validates_workers(self, fitted):
+        with pytest.raises(ValueError, match="workers"):
+            ForecastService(fitted, workers=0)
+
+    def test_workers_survive_bursty_load(self, fitted):
+        """Regression: during the max_delay hold-open a worker releases the
+        lock, a sibling drains the queue, and the first must loop back to
+        waiting — not treat the empty deque as shutdown and retire.  Before
+        the fix a 4-worker service degraded to 1 live worker under bursts."""
+        window = windows(1)[0]
+        with ForecastService(fitted, workers=4, max_batch=8, max_delay=0.002) as service:
+            for _ in range(60):
+                run_threads(lambda idx: service.predict(window), count=4)
+            alive = [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith("forecast-service") and t.is_alive()
+            ]
+            assert len(alive) == 4, f"worker pool degraded to {len(alive)} threads"
+            assert service.stats().requests == 240
+
+
+class TestParallelShardRouter:
+    @pytest.fixture(scope="class")
+    def shards(self):
+        return train_shards("ST-HSL", DATASET, 2, budget=BUDGET, hidden=6)
+
+    def test_parallel_fanout_bitwise_equals_sequential(self, shards):
+        sequential = ShardRouter(shards)
+        parallel = ShardRouter(shards, parallel=True)
+        try:
+            window = windows(1)[0]
+            batch = np.stack(windows(4))
+            assert np.array_equal(parallel.predict(window), sequential.predict(window))
+            assert np.array_equal(parallel.predict(batch), sequential.predict(batch))
+        finally:
+            parallel.close()
+
+    def test_parallel_router_under_concurrent_clients(self, shards):
+        router = ShardRouter(shards, parallel=True)
+        try:
+            window = windows(1)[0]
+            expected = router.predict(window)
+            results = {}
+
+            def worker(idx):
+                results[idx] = [router.predict(window) for _ in range(4)]
+
+            run_threads(worker, count=4)
+            for idx in range(4):
+                for got in results[idx]:
+                    assert np.array_equal(got, expected)
+        finally:
+            router.close()
+
+    def test_shard_affinity_keeps_one_arena_per_shard(self, shards):
+        """Each shard is pinned to its own single-thread executor, so S
+        shards warm S per-thread arenas — not the S^2 a shared pool's
+        arbitrary task placement would create."""
+        router = ShardRouter(shards, parallel=True)
+        try:
+            window = windows(1)[0]
+            router.predict(window)
+            before = {
+                id(fc): len(fc.model._arena_state()["by_thread"]) for fc in router.shards
+            }
+            for _ in range(8):
+                router.predict(window)
+            for fc in router.shards:
+                # Repeated fan-outs add no new per-thread arenas: shard i
+                # is always served by its own pinned executor thread.
+                assert len(fc.model._arena_state()["by_thread"]) == before[id(fc)]
+        finally:
+            router.close()
+
+    def test_close_is_idempotent_and_reusable(self, shards):
+        router = ShardRouter(shards, parallel=True)
+        window = windows(1)[0]
+        first = router.predict(window)
+        router.close()
+        router.close()  # no-op
+        assert np.array_equal(router.predict(window), first)  # pool respawns
+        router.close()
+
+
+class TestPoolPinContention:
+    @pytest.fixture()
+    def artifacts(self, tmp_path, fitted):
+        paths = []
+        for index in range(6):
+            path = tmp_path / f"model{index}.npz"
+            fitted.save(path)
+            paths.append(path)
+        return paths
+
+    def test_pin_at_capacity_under_contention(self, artifacts):
+        """6 threads race to pin 6 distinct artifacts into 2 slots: exactly
+        2 pins may succeed, the rest must raise, and the pool must end
+        exactly full of pinned entries."""
+        pool = ModelPool(capacity=2)
+        outcomes = {}
+        barrier = threading.Barrier(len(artifacts))
+
+        def worker(index):
+            barrier.wait()
+            try:
+                pool.pin(artifacts[index])
+                outcomes[index] = "pinned"
+            except RuntimeError:
+                outcomes[index] = "rejected"
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(artifacts))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        pinned = [i for i, result in outcomes.items() if result == "pinned"]
+        assert len(pinned) == 2
+        assert len(pool) == 2
+        stats = pool.stats()
+        assert len(stats.pinned) == 2
+        for index in pinned:
+            assert artifacts[index] in pool
+
+    def test_concurrent_get_same_artifact_loads_once(self, artifacts):
+        pool = ModelPool(capacity=2)
+        seen = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(_):
+            barrier.wait()
+            seen.append(pool.get(artifacts[0]))
+
+        run_threads(worker)
+        assert len({id(fc) for fc in seen}) == 1  # one shared entry
+        assert pool.stats().loads == 1
+
+
+class TestThreadLocalStateInServingContext:
+    def test_service_worker_nograd_does_not_leak_to_clients(self, fitted):
+        """While the service workers predict under no_grad, client threads
+        must still be able to build training graphs."""
+        with ForecastService(fitted, workers=2) as service:
+            handles = [service.submit(w) for w in windows(6)]
+            x = nn.Tensor(np.ones((3, 3)), requires_grad=True)
+            loss = (x * 2.0).sum()
+            assert loss.requires_grad  # grad mode untouched on this thread
+            loss.backward()
+            assert np.array_equal(x.grad, np.full((3, 3), 2.0))
+            for handle in handles:
+                assert handle.wait(timeout=30).shape == (16, 4)

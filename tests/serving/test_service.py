@@ -169,3 +169,188 @@ class TestStatsAndLifecycle:
             ForecastService(forecaster, max_batch=0)
         with pytest.raises(ValueError, match="max_delay"):
             ForecastService(forecaster, max_delay=-1.0)
+        with pytest.raises(ValueError, match="workers"):
+            ForecastService(forecaster, workers=0)
+
+
+class TestErrorPropagation:
+    class Broken:
+        def predict(self, batch):
+            raise RuntimeError("backend exploded")
+
+    def test_each_waiter_gets_its_own_exception_instance(self):
+        """Re-raising the one stored exception from several client threads
+        concurrently mutates its __traceback__; every wait() must raise a
+        fresh clone chained to the original instead."""
+        with ForecastService(self.Broken()) as service:
+            handle = service.submit(np.zeros((16, 8, 4)))
+            raised = []
+            for _ in range(3):
+                with pytest.raises(RuntimeError, match="backend exploded") as excinfo:
+                    handle.wait(timeout=5)
+                raised.append(excinfo.value)
+        assert len({id(exc) for exc in raised}) == 3  # three distinct clones
+        for exc in raised:
+            assert exc is not handle.error
+            assert exc.__cause__ is handle.error  # chained to the original
+
+    def test_wait_from_concurrent_threads_never_shares_the_instance(self):
+        import threading
+
+        with ForecastService(self.Broken()) as service:
+            handle = service.submit(np.zeros((16, 8, 4)))
+            seen = []
+            barrier = threading.Barrier(4)
+
+            def client():
+                barrier.wait()
+                try:
+                    handle.wait(timeout=5)
+                except RuntimeError as exc:
+                    seen.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(seen) == 4
+        assert len({id(exc) for exc in seen}) == 4
+
+    def test_unclonable_exception_falls_back_to_original(self):
+        class Picky(Exception):
+            def __init__(self, code, detail):
+                super().__init__(f"{code}: {detail}")
+
+        class Backend:
+            def predict(self, batch):
+                raise Picky(500, "boom")
+
+        with ForecastService(Backend()) as service:
+            handle = service.submit(np.zeros((16, 8, 4)))
+            with pytest.raises(Picky, match="500: boom") as excinfo:
+                handle.wait(timeout=5)
+        assert excinfo.value is handle.error  # args don't round-trip: original
+
+    def test_arg_transforming_exception_is_not_double_wrapped(self):
+        """A constructor that formats its single argument would re-format
+        the already-formatted args on cloning; wait() must hand back the
+        original instead of a 'data error data error 5' clone."""
+
+        class DataError(Exception):
+            def __init__(self, code):
+                super().__init__(f"data error {code}")
+
+        class Backend:
+            def predict(self, batch):
+                raise DataError(5)
+
+        with ForecastService(Backend()) as service:
+            handle = service.submit(np.zeros((16, 8, 4)))
+            with pytest.raises(DataError) as excinfo:
+                handle.wait(timeout=5)
+        assert str(excinfo.value) == "data error 5"
+        assert excinfo.value is handle.error
+
+
+class TestTimedOutRequests:
+    def test_late_completion_does_not_skew_latency_stats(self, forecaster):
+        """A request whose waiter timed out completes late; its latency must
+        not enter the percentiles (it measures the timeout, not the
+        service)."""
+        import threading
+
+        release = threading.Event()
+        inner = forecaster
+
+        class SlowOnce:
+            def __init__(self):
+                self.first = True
+
+            def predict(self, batch):
+                if self.first:
+                    self.first = False
+                    release.wait(10)  # hold the first batch hostage
+                return inner.predict(batch)
+
+        import time
+
+        window = DATASET.tensor[:, 20:28, :]
+        with ForecastService(SlowOnce(), max_delay=0.0) as service:
+            slow = service.submit(window)
+            with pytest.raises(TimeoutError):
+                slow.wait(timeout=0.05)
+            assert slow.abandoned
+            time.sleep(0.4)  # the held batch is now ancient
+            release.set()
+            slow._event.wait(5)  # let the worker finish the held batch
+            for _ in range(3):
+                service.predict(window)
+            stats = service.stats()
+        assert stats.requests == 4  # the abandoned request still counts
+        # But its ~0.45 s enqueue-to-completion never entered the latency
+        # window: only the three fast requests are measured.
+        assert 0 < stats.latency_p95 < 0.2
+
+
+class TestWorkerPool:
+    def test_multi_worker_service_serves_correct_results(self, forecaster):
+        batch = windows(8)
+        expected = [forecaster.predict(w) for w in batch]
+        with ForecastService(forecaster, max_batch=2, workers=3) as service:
+            results = service.predict_many(batch)
+            stats = service.stats()
+        assert stats.requests == 8
+        for got, want in zip(results, expected):
+            assert np.allclose(got, want, atol=1e-10)
+
+    def test_workers_attribute_and_thread_names(self, forecaster):
+        import threading
+
+        with ForecastService(forecaster, workers=2) as service:
+            assert service.workers == 2
+            names = {t.name for t in threading.enumerate()}
+            assert {"forecast-service-0", "forecast-service-1"} <= names
+
+    def test_worker_stuck_past_stop_timeout_retires_and_never_doubles(self, forecaster):
+        """A worker that outlives stop(timeout) must exit once unstuck (its
+        generation is stale) instead of rejoining the restarted pool, and a
+        later stop() must still join it."""
+        import threading
+        import time
+
+        release = threading.Event()
+        inner = forecaster
+
+        class StickyOnce:
+            def __init__(self):
+                self.first = True
+
+            def predict(self, batch):
+                if self.first:
+                    self.first = False
+                    release.wait(10)
+                return inner.predict(batch)
+
+        window = DATASET.tensor[:, 20:28, :]
+        service = ForecastService(StickyOnce(), workers=1).start()
+        stuck = service.submit(window)
+        time.sleep(0.05)  # let the worker enter the sticky predict
+        service.stop(timeout=0.05)  # worker outlives the deadline
+        assert len(service._threads) == 1  # orphan stays tracked
+        service.start()  # new generation pool
+        assert service.predict(window, timeout=30).shape == (16, 4)
+        release.set()
+        assert stuck.wait(timeout=5).shape == (16, 4)
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            workers = [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith("forecast-service") and t.is_alive()
+            ]
+            if len(workers) == 1:
+                break
+            time.sleep(0.01)
+        assert len(workers) == 1  # the orphan retired itself
+        service.stop()

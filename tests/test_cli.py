@@ -125,8 +125,19 @@ class TestEndToEnd:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "serving ST-HSL (window=8, dtype=float32)" in out
+        assert "serving ST-HSL (window=8, dtype=float32, workers=1)" in out
         assert "requests_per_sec" in out and "mean_batch" in out
+
+    def test_serve_with_worker_pool(self, trained_checkpoint, capsys):
+        code = main(
+            ["serve", *SMALL, "--checkpoint", str(trained_checkpoint),
+             "--requests", "12", "--concurrency", "4", "--max-batch", "2",
+             "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "requests_per_sec" in out
 
     def test_migrate_artifact_rewrites_v1_in_place_equivalent(self, trained_checkpoint, tmp_path, capsys):
         """A v1 checkpoint migrates on disk and evaluates identically."""

@@ -1,7 +1,7 @@
 """Smoke tests for the tracked perf harness (tier-1, < 30 s).
 
 Runs one tiny throughput measurement through the same code path as
-``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v3``
+``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v4``
 schema (training + inference + serving sections), so schema or harness
 breakage is caught by the default suite rather than at the next manual
 bench run.  Also guards the *committed* ``BENCH_perf.json`` against
@@ -72,6 +72,7 @@ def test_perf_smoke(tmp_path):
         inference_batch=3,
         serving_concurrency=(1, 2),
         serving_max_batch=2,
+        serving_workers=(1, 2),
     )
 
     validate_perf_payload(payload)
@@ -95,11 +96,17 @@ def test_perf_smoke(tmp_path):
 
     serving = payload["serving"]
     assert serving["num_requests"] == 6
+    assert serving["workers"] == [1, 2]
     assert {e["path"] for e in serving["sequential"]} == {"graph", "no_grad"}
-    assert [e["concurrency"] for e in serving["service"]] == [1, 2]
+    # Full sweep: every (workers, concurrency) cell is measured.
+    assert [(e["workers"], e["concurrency"]) for e in serving["service"]] == [
+        (1, 1), (1, 2), (2, 1), (2, 2),
+    ]
     assert all(e["requests_per_sec"] > 0 for e in serving["service"])
     assert serving["artifact"]["served_dtype"] == "float32"
+    # Headline floors stay pinned to the single-worker column.
     assert "service_conc2_vs_graph_baseline" in serving["speedups"]
+    assert "service_conc2_workers2_vs_workers1" in serving["speedups"]
 
     out = tmp_path / "BENCH_perf.json"
     write_perf_json(payload, out)
@@ -111,9 +118,11 @@ def test_perf_schema_rejects_malformed():
     with pytest.raises(ValueError):
         validate_perf_payload({"schema": "nope"})
     with pytest.raises(ValueError, match="regenerate"):
-        validate_perf_payload({"schema": "repro.perf/v1"})  # pre-v3 payloads
+        validate_perf_payload({"schema": "repro.perf/v1"})  # pre-v4 payloads
     with pytest.raises(ValueError, match="regenerate"):
         validate_perf_payload({"schema": "repro.perf/v2"})  # pre-serving payloads
+    with pytest.raises(ValueError, match="regenerate"):
+        validate_perf_payload({"schema": "repro.perf/v3"})  # pre-workers payloads
     with pytest.raises(ValueError):
         validate_perf_payload({"schema": PERF_SCHEMA, "geometry": {}, "training": {}})
     with pytest.raises(ValueError):
