@@ -283,8 +283,18 @@ def measure_serving(
     served = pool.get(artifact_path)
     service_entries = []
     service_rps: dict[tuple[int, int], float] = {}  # (workers, clients) -> req/s
+    # The tracked numbers run with the resilience layer *on* (a generous
+    # per-request deadline plus a bounded admission queue), so the floors
+    # defend the production configuration, not a stripped-down one.
+    resilience = {"deadline_s": 30.0, "max_queue": 1024}
     for worker_count in workers:
-        with ForecastService(served, max_batch=max_batch, workers=worker_count) as service:
+        with ForecastService(
+            served,
+            max_batch=max_batch,
+            workers=worker_count,
+            deadline=resilience["deadline_s"],
+            max_queue=resilience["max_queue"],
+        ) as service:
             # Warm-up burst sized so *every* worker thread drains at least
             # one batch and builds its per-thread arena before timing —
             # a single request would leave N-1 workers allocating cold
@@ -347,6 +357,7 @@ def measure_serving(
         "num_requests": num_requests,
         "max_batch": max_batch,
         "workers": [int(w) for w in workers],
+        "resilience": resilience,
         "artifact": {
             "model": baseline.model_name,
             "served_dtype": served.served_dtype,

@@ -158,14 +158,25 @@ def cmd_forecast(args) -> int:
 def cmd_serve(args) -> int:
     """Demo serving session: concurrent clients against a ForecastService."""
     from .analysis.perf import drive_clients
-    from .serving import ForecastService, ModelPool
+    from .serving import ForecastService, ModelPool, build_fallback_tier
 
     pool = ModelPool(capacity=args.pool_capacity, served_dtype=args.served_dtype)
     forecaster = pool.get(args.checkpoint)
     dtype = forecaster.served_dtype or "native"
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    fallback = build_fallback_tier(forecaster, model=args.fallback) if args.fallback else None
+    knobs = []
+    if deadline is not None:
+        knobs.append(f"deadline={args.deadline_ms}ms")
+    if args.max_queue is not None:
+        knobs.append(f"max_queue={args.max_queue}")
+    if fallback is not None:
+        knobs.append(f"fallback={args.fallback}")
     print(
         f"serving {forecaster.model_name} (window={forecaster.window}, "
-        f"dtype={dtype}, workers={args.workers}) from {args.checkpoint}"
+        f"dtype={dtype}, workers={args.workers}"
+        + (", " + ", ".join(knobs) if knobs else "")
+        + f") from {args.checkpoint}"
     )
     dataset = _data_spec(args).load()
     forecaster.check_compatible(dataset)
@@ -175,7 +186,12 @@ def cmd_serve(args) -> int:
     requests = [windows[i % len(windows)] for i in range(args.requests)]
 
     with ForecastService(
-        forecaster, max_batch=args.max_batch, workers=args.workers
+        forecaster,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        deadline=deadline,
+        max_queue=args.max_queue,
+        fallback=fallback,
     ) as service:
         # Warm-up burst sized so every worker thread builds its per-thread
         # arena before timing (a single request warms only one worker).
@@ -267,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float32", "float64"),
         default="float32",
         help="pool-wide serving dtype (best-effort per model)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in ms (expired requests shed before compute)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="admission-queue bound (excess submits rejected as overloaded)",
+    )
+    p.add_argument(
+        "--fallback",
+        default=None,
+        metavar="MODEL",
+        help="degraded-fallback tier built from the checkpoint geometry "
+        "(an untrained-servable model, e.g. HA)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -20,6 +20,15 @@ that absorbs concurrent traffic:
   valid ``ForecastService`` backend, so sharding and micro-batching
   compose.
 
+On top sits the fault-tolerance layer: per-request deadlines
+(:class:`Deadline`), a bounded admission queue, :class:`RetryPolicy`
+backoff for transient failures, per-model :class:`CircuitBreaker`
+fail-fast, and a :class:`FallbackChain` that degrades to cheaper
+baseline tiers instead of failing outright.  Every failure surfaces as
+a typed :class:`ServingError` subclass, and the whole stack is
+chaos-testable through the deterministic :class:`FaultPlan` harness.
+See ``docs/serving.md`` ("Failure model and degradation ladder").
+
 Usage
 -----
 
@@ -47,7 +56,25 @@ See ``docs/serving.md`` for the request lifecycle, micro-batching
 semantics and the artifact v2 schema this layer relies on.
 """
 
+from .errors import (
+    ArtifactLoadError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    ServingError,
+    ShardFailedError,
+    WorkerCrashedError,
+)
+from .faultinject import FaultPlan, InjectedFault, corrupt_artifact
 from .pool import ModelPool, PoolStats
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    FallbackChain,
+    RetryPolicy,
+    build_fallback_tier,
+)
 from .router import ShardRouter, shard_dataset, split_rows, train_shards
 from .service import ForecastService, ServiceStats
 
@@ -60,4 +87,23 @@ __all__ = [
     "shard_dataset",
     "split_rows",
     "train_shards",
+    # resilience primitives
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FallbackChain",
+    "build_fallback_tier",
+    # fault injection harness
+    "FaultPlan",
+    "InjectedFault",
+    "corrupt_artifact",
+    # typed exception taxonomy
+    "ServingError",
+    "DeadlineExceededError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "CircuitOpenError",
+    "ArtifactLoadError",
+    "ShardFailedError",
+    "WorkerCrashedError",
 ]

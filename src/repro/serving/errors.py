@@ -1,0 +1,138 @@
+"""Typed exception taxonomy for the serving layer.
+
+Every failure mode the serving stack can produce has a named exception
+rooted at :class:`ServingError`, so callers (and the network edge that
+ROADMAP open item 1 will bolt on) can branch on *what went wrong* instead
+of parsing messages: shed a :class:`DeadlineExceededError` as a timeout
+status, a :class:`ServiceOverloadedError` as HTTP 429 backpressure, a
+:class:`CircuitOpenError` as fail-fast unavailability, and so on.
+
+:class:`ServingError` subclasses ``RuntimeError`` so pre-taxonomy callers
+that caught ``RuntimeError`` keep working; :class:`DeadlineExceededError`
+additionally subclasses the built-in ``TimeoutError`` so generic timeout
+handling (``except TimeoutError``) catches deadline expiry too.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "DeadlineExceededError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "CircuitOpenError",
+    "ArtifactLoadError",
+    "ShardFailedError",
+    "WorkerCrashedError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for every typed failure the serving stack raises.
+
+    Catching it handles any serving-layer failure uniformly while still
+    letting specific handlers branch on the subclasses::
+
+        try:
+            counts = service.predict(window, deadline=0.25)
+        except ServingError as exc:
+            log.warning("request failed: %s", exc)
+    """
+
+
+class DeadlineExceededError(ServingError, TimeoutError):
+    """A request's deadline expired before a worker computed it.
+
+    Raised by the worker when it sheds an expired request at drain time
+    (before compute, never after), and by ``wait`` when the client-side
+    deadline backstop trips.  Subclasses ``TimeoutError`` so generic
+    timeout handling still applies::
+
+        handle = service.submit(window, deadline=0.05)
+        try:
+            handle.wait()
+        except DeadlineExceededError:
+            ...  # shed — the model never ran for this request
+    """
+
+
+class ServiceOverloadedError(ServingError):
+    """The admission queue is full; the request was shed at submit time.
+
+    This is the in-process backpressure primitive: the network edge maps
+    it to HTTP 429.  Clients should back off and retry::
+
+        service = ForecastService(backend, max_queue=64)
+        try:
+            service.submit(window)
+        except ServiceOverloadedError:
+            ...  # queue depth hit max_queue — retry later
+    """
+
+
+class ServiceStoppedError(ServingError):
+    """A request was submitted to a service that is not running.
+
+    Raised by ``submit``/``predict`` before :meth:`ForecastService.start`
+    or after :meth:`ForecastService.stop`::
+
+        service = ForecastService(backend)
+        service.stop()
+        service.submit(window)  # raises ServiceStoppedError
+    """
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker is open: the call failed fast without running.
+
+    Raised when a :class:`~repro.serving.CircuitBreaker` guarding a
+    model, fallback tier or shard band refuses traffic after too many
+    consecutive failures (and no fallback tier could answer)::
+
+        try:
+            router.predict(window)
+        except CircuitOpenError:
+            ...  # the band is broken; probe again after reset_timeout
+    """
+
+
+class ArtifactLoadError(ServingError):
+    """A checkpoint artifact failed to load (and may be quarantined).
+
+    Raised by :class:`~repro.serving.ModelPool` when ``Forecaster.load``
+    fails after any configured retries; the pool quarantines the path for
+    a cooldown so a corrupted file cannot trigger a load retry storm::
+
+        try:
+            pool.get("corrupt.npz")
+        except ArtifactLoadError as exc:
+            print(exc.__cause__)  # the underlying loader error
+    """
+
+
+class ShardFailedError(ServingError):
+    """One shard band of a :class:`~repro.serving.ShardRouter` failed.
+
+    The message names the shard index and row band; the underlying model
+    error is chained as ``__cause__``::
+
+        try:
+            router.predict(window)
+        except ShardFailedError as exc:
+            print(exc)  # "shard 1 (rows [3, 6)) failed: ..."
+    """
+
+
+class WorkerCrashedError(ServingError):
+    """A service worker thread died mid-batch.
+
+    Every request that was in flight on the dead worker is completed
+    with this error (the killing exception chained as ``__cause__``);
+    the service respawns a replacement worker, so later requests
+    succeed::
+
+        try:
+            handle.wait()
+        except WorkerCrashedError:
+            service.predict(window)  # the respawned worker serves this
+    """

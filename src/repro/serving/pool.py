@@ -18,11 +18,14 @@ geometry costs no allocator warm-up.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..api import Forecaster
 from ..api.registry import REGISTRY, ModelRegistry
+from .errors import ArtifactLoadError, ServingError
+from .resilience import RetryPolicy
 
 __all__ = ["ModelPool", "PoolStats"]
 
@@ -34,7 +37,10 @@ class PoolStats:
     ``hits``/``loads`` tell whether the capacity fits the working set
     (a high load count means thrashing); ``evictions`` counts models
     dropped by the LRU policy; ``arena_handoffs`` counts evicted buffer
-    arenas recycled into newly loaded models.  Example::
+    arenas recycled into newly loaded models; ``load_failures`` counts
+    loads that failed after any retries, and ``quarantined`` lists the
+    artifact paths currently cooling down after such a failure.
+    Example::
 
         pool.get(path); pool.get(path)
         assert pool.stats().hits == 1
@@ -47,6 +53,8 @@ class PoolStats:
     evictions: int
     arena_handoffs: int
     pinned: tuple[str, ...]
+    load_failures: int = 0
+    quarantined: tuple[str, ...] = field(default=())
 
 
 class ModelPool:
@@ -71,6 +79,16 @@ class ModelPool:
     (execution state is thread-local and every thread predicts under its
     own per-thread arena), so :class:`~repro.serving.ForecastService`
     worker pools can serve one pool entry from several threads at once.
+
+    Load failures are contained rather than retried per request: an
+    optional ``retry`` :class:`~repro.serving.RetryPolicy` absorbs
+    transient failures (flaky filesystem, injected chaos), and a path
+    whose load still fails is **quarantined** for ``quarantine_cooldown``
+    seconds — until the cooldown elapses every ``get`` for it raises
+    :class:`~repro.serving.ArtifactLoadError` immediately (the original
+    loader error chained as ``__cause__``) without touching the disk, so
+    one corrupted checkpoint cannot drive a load retry storm.  After the
+    cooldown the next ``get`` probes the load once.
     """
 
     def __init__(
@@ -79,24 +97,40 @@ class ModelPool:
         *,
         served_dtype: str | None = None,
         registry: ModelRegistry = REGISTRY,
+        retry: RetryPolicy | None = None,
+        quarantine_cooldown: float = 30.0,
+        fault_hook=None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if quarantine_cooldown < 0:
+            raise ValueError(
+                f"quarantine_cooldown must be >= 0, got {quarantine_cooldown}"
+            )
         self.capacity = capacity
         self.served_dtype = served_dtype
         self.registry = registry
+        self.retry = retry
+        self.quarantine_cooldown = quarantine_cooldown
+        self._fault_hook = fault_hook
         self._entries: dict[str, Forecaster] = {}  # insertion order = LRU order
         self._pinned: set[str] = set()
+        self._quarantine: dict[str, tuple[float, BaseException]] = {}
         self._spare_arenas: list = []
         self._lock = threading.RLock()
         self._loads = 0
         self._hits = 0
         self._evictions = 0
         self._arena_handoffs = 0
+        self._load_failures = 0
 
     @staticmethod
     def _key(path: str | Path) -> str:
         return str(Path(path).resolve())
+
+    def _fault(self, site: str, **info) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(site, **info)
 
     # ------------------------------------------------------------------
     # Lookup / loading
@@ -108,6 +142,10 @@ class ModelPool:
         The returned object stays valid even if later evicted from the
         pool — eviction only drops the pool's reference (and harvests the
         model's buffer arena for reuse).
+
+        Raises :class:`~repro.serving.ArtifactLoadError` when the load
+        fails (after any configured retries) or while the path is still
+        quarantined from an earlier failure.
         """
         key = self._key(path)
         with self._lock:
@@ -116,9 +154,38 @@ class ModelPool:
                 self._entries[key] = entry  # re-insert = move to MRU
                 self._hits += 1
                 return entry
-            forecaster = Forecaster.load(
-                path, registry=self.registry, served_dtype=self.served_dtype
-            )
+            until = self._quarantine.get(key)
+            if until is not None:
+                expiry, cause = until
+                if time.monotonic() < expiry:
+                    error = ArtifactLoadError(
+                        f"artifact {key} is quarantined after a load failure "
+                        f"(retry in {expiry - time.monotonic():.1f}s)"
+                    )
+                    error.__cause__ = cause
+                    raise error
+                del self._quarantine[key]  # cooldown over: probe the load
+
+            def load() -> Forecaster:
+                self._fault("pool.load", path=key)
+                return Forecaster.load(
+                    path, registry=self.registry, served_dtype=self.served_dtype
+                )
+
+            try:
+                if self.retry is not None:
+                    forecaster = self.retry.call(load)
+                else:
+                    forecaster = load()
+            except Exception as exc:
+                self._load_failures += 1
+                self._quarantine[key] = (
+                    time.monotonic() + self.quarantine_cooldown,
+                    exc,
+                )
+                raise ArtifactLoadError(
+                    f"failed to load artifact {key}: {exc}"
+                ) from exc
             if self._spare_arenas:
                 forecaster.model.adopt_arena(self._spare_arenas.pop())
                 self._arena_handoffs += 1
@@ -154,14 +221,15 @@ class ModelPool:
 
             router_shards = [pool.pin(p) for p in shard_paths]
 
-        Raises ``RuntimeError`` when the pool is already full of pinned
-        entries — a pin that could never be honoured.
+        Raises :class:`~repro.serving.ServingError` (a ``RuntimeError``)
+        when the pool is already full of pinned entries — a pin that
+        could never be honoured.
         """
         with self._lock:
             forecaster = self.get(path)
             key = self._key(path)
             if key not in self._entries:
-                raise RuntimeError(
+                raise ServingError(
                     f"cannot pin {path}: the pool's {self.capacity} slots are "
                     "all pinned already; unpin something or raise capacity"
                 )
@@ -187,6 +255,14 @@ class ModelPool:
     def stats(self) -> PoolStats:
         """A consistent snapshot of the pool counters."""
         with self._lock:
+            now = time.monotonic()
+            cooling = tuple(
+                sorted(
+                    key
+                    for key, (expiry, _) in self._quarantine.items()
+                    if now < expiry
+                )
+            )
             return PoolStats(
                 size=len(self._entries),
                 capacity=self.capacity,
@@ -195,4 +271,6 @@ class ModelPool:
                 evictions=self._evictions,
                 arena_handoffs=self._arena_handoffs,
                 pinned=tuple(sorted(self._pinned)),
+                load_failures=self._load_failures,
+                quarantined=cooling,
             )

@@ -36,6 +36,8 @@ from ..data.datasets import CrimeDataset
 from ..data.grid import GridSegmentation
 from ..data.schema import BoundingBox
 from ..api.runspec import ExperimentBudget
+from .errors import CircuitOpenError, ShardFailedError
+from .resilience import CircuitBreaker, RetryPolicy
 
 __all__ = ["ShardRouter", "shard_dataset", "split_rows", "train_shards"]
 
@@ -165,9 +167,29 @@ class ShardRouter:
     output is bitwise-identical to the sequential loop while shards
     overlap on multi-core hardware.  The default stays sequential — on
     a single core the fan-out only adds thread hand-off latency.
+
+    Per-band resilience is opt-in: a ``retry``
+    :class:`~repro.serving.RetryPolicy` re-attempts a band predict that
+    raised, and ``breaker_failures=N`` arms one
+    :class:`~repro.serving.CircuitBreaker` per band so a band failing
+    ``N`` consecutive times fails fast with
+    :class:`~repro.serving.CircuitOpenError` (probing again after
+    ``breaker_reset`` seconds) instead of burning retries on every
+    request.  Band failures surface as
+    :class:`~repro.serving.ShardFailedError` naming the band, with the
+    model's error chained as ``__cause__``.
     """
 
-    def __init__(self, shards: list[Forecaster], *, parallel: bool = False):
+    def __init__(
+        self,
+        shards: list[Forecaster],
+        *,
+        parallel: bool = False,
+        retry: RetryPolicy | None = None,
+        breaker_failures: int | None = None,
+        breaker_reset: float = 30.0,
+        fault_hook=None,
+    ):
         if not shards:
             raise ValueError("ShardRouter needs at least one shard forecaster")
         missing = [fc.model_name for fc in shards if not fc.shard]
@@ -208,6 +230,16 @@ class ShardRouter:
             for fc in self.shards
         ]
         self.parallel = bool(parallel) and len(self.shards) > 1
+        self.retry = retry
+        self._fault_hook = fault_hook
+        self._breakers: list[CircuitBreaker] | None = None
+        if breaker_failures is not None:
+            self._breakers = [
+                CircuitBreaker(
+                    failure_threshold=breaker_failures, reset_timeout=breaker_reset
+                )
+                for _ in self.shards
+            ]
         self._executors: list[ThreadPoolExecutor] | None = None
         self._executor_lock = threading.Lock()
 
@@ -219,6 +251,10 @@ class ShardRouter:
         pool=None,
         served_dtype: str | None = None,
         parallel: bool = False,
+        retry: RetryPolicy | None = None,
+        breaker_failures: int | None = None,
+        breaker_reset: float = 30.0,
+        fault_hook=None,
     ) -> "ShardRouter":
         """Assemble a router from shard artifact files.
 
@@ -227,14 +263,22 @@ class ShardRouter:
 
             router = ShardRouter.from_artifacts(["s0.npz", "s1.npz"])
 
-        ``parallel=True`` enables the per-shard thread fan-out (see the
-        class docstring).
+        ``parallel=True`` enables the per-shard thread fan-out, and
+        ``retry``/``breaker_failures``/``fault_hook`` configure per-band
+        resilience (see the class docstring).
         """
+        kwargs = dict(
+            parallel=parallel,
+            retry=retry,
+            breaker_failures=breaker_failures,
+            breaker_reset=breaker_reset,
+            fault_hook=fault_hook,
+        )
         if pool is not None:
-            return cls([pool.pin(path) for path in paths], parallel=parallel)
+            return cls([pool.pin(path) for path in paths], **kwargs)
         return cls(
             [Forecaster.load(path, served_dtype=served_dtype) for path in paths],
-            parallel=parallel,
+            **kwargs,
         )
 
     def _shard_executors(self) -> list[ThreadPoolExecutor]:
@@ -284,6 +328,43 @@ class ShardRouter:
         """How many row-band shard models the router merges."""
         return len(self.shards)
 
+    def _band_label(self, index: int) -> str:
+        shard = self.shards[index].shard
+        return f"shard {index} (rows [{shard['row_start']}, {shard['row_stop']}))"
+
+    def _predict_band(self, index: int, part: np.ndarray) -> np.ndarray:
+        # One band's predict, under its breaker (if armed) and retry
+        # policy (if configured).  CircuitOpenError passes through
+        # untouched — fail-fast is the point; every other failure is
+        # wrapped as ShardFailedError naming the band.
+        fc = self.shards[index]
+        breaker = self._breakers[index] if self._breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"{self._band_label(index)} circuit breaker is open; "
+                f"probing again after its reset timeout"
+            )
+
+        def attempt() -> np.ndarray:
+            if self._fault_hook is not None:
+                self._fault_hook("router.shard", index=index)
+            return fc.predict(part)
+
+        try:
+            if self.retry is not None:
+                result = self.retry.call(attempt)
+            else:
+                result = attempt()
+        except Exception as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            raise ShardFailedError(
+                f"{self._band_label(index)} failed: {exc}"
+            ) from exc
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
     def predict(self, window: np.ndarray) -> np.ndarray:
         """Full-grid expected counts from a raw count history.
 
@@ -304,8 +385,10 @@ class ShardRouter:
         if self.parallel:
             try:
                 futures = [
-                    executor.submit(fc.predict, part)
-                    for executor, fc, part in zip(self._shard_executors(), self.shards, slices)
+                    executor.submit(self._predict_band, index, part)
+                    for index, (executor, part) in enumerate(
+                        zip(self._shard_executors(), slices)
+                    )
                 ]
             except RuntimeError:
                 # close() raced this predict and shut the snapshot of
@@ -313,9 +396,14 @@ class ShardRouter:
                 # falling back to the sequential loop (re-predicting any
                 # shards that did get submitted) returns the identical
                 # answer instead of failing the request.
-                parts = [fc.predict(part) for fc, part in zip(self.shards, slices)]
+                parts = [
+                    self._predict_band(index, part)
+                    for index, part in enumerate(slices)
+                ]
             else:
                 parts = [future.result() for future in futures]
         else:
-            parts = [fc.predict(part) for fc, part in zip(self.shards, slices)]
+            parts = [
+                self._predict_band(index, part) for index, part in enumerate(slices)
+            ]
         return np.concatenate(parts, axis=region_axis)

@@ -30,8 +30,22 @@ Request lifecycle::
 
 The backend is anything mapping a stacked ``(B, R, W, C)`` batch of raw
 count windows to ``(B, R, C)`` predictions — a
-:class:`~repro.api.Forecaster` or a
-:class:`~repro.serving.ShardRouter`.
+:class:`~repro.api.Forecaster`, a :class:`~repro.serving.ShardRouter`,
+or a :class:`~repro.serving.FallbackChain`.
+
+The service also carries the in-process failure model (see
+``docs/serving.md`` "Failure model and degradation ladder"): per-request
+**deadlines** (expired requests are shed before compute and completed
+with :class:`~repro.serving.DeadlineExceededError`), a **bounded
+admission queue** (:class:`~repro.serving.ServiceOverloadedError` once
+``max_queue`` requests are waiting — the backpressure primitive a
+network edge surfaces as HTTP 429), **graceful degradation** through a
+:class:`~repro.serving.FallbackChain` (responses answered by a fallback
+tier carry ``degraded=True`` on their handle), and **worker-death
+recovery** (a worker thread that dies mid-batch fails its in-flight
+requests with :class:`~repro.serving.WorkerCrashedError` and is
+respawned).  Every failure path is injectable through ``fault_hook``
+(see :mod:`repro.serving.faultinject`).
 """
 
 from __future__ import annotations
@@ -43,7 +57,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    WorkerCrashedError,
+)
+from .resilience import Deadline, FallbackChain
+
 __all__ = ["ForecastService", "ServiceStats"]
+
+#: Client-side backstop past a request's deadline: how long ``wait`` keeps
+#: blocking after expiry for the worker-side shed (or a late result) to
+#: land before it gives up with DeadlineExceededError.  Generous because
+#: the worker may legitimately still be computing the batch ahead.
+_DEADLINE_WAIT_GRACE = 30.0
 
 
 def _rewrap(error: BaseException) -> BaseException:
@@ -84,9 +113,20 @@ def _rewrap(error: BaseException) -> BaseException:
 class _PendingRequest:
     """One submitted window: a tiny future a worker completes."""
 
-    __slots__ = ("window", "result", "error", "enqueued_at", "done_at", "abandoned", "_event")
+    __slots__ = (
+        "window",
+        "result",
+        "error",
+        "enqueued_at",
+        "done_at",
+        "abandoned",
+        "deadline",
+        "degraded",
+        "tier",
+        "_event",
+    )
 
-    def __init__(self, window: np.ndarray):
+    def __init__(self, window: np.ndarray, deadline: Deadline | None = None):
         self.window = window
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
@@ -95,14 +135,29 @@ class _PendingRequest:
         #: Set when a waiter timed out: the late completion still fulfils
         #: the handle but is excluded from the service latency stats.
         self.abandoned = False
+        #: Absolute time budget; workers shed the request once expired.
+        self.deadline = deadline
+        #: True when a fallback tier (not the primary) produced the result.
+        self.degraded = False
+        #: Index of the FallbackChain tier that answered (0 = primary).
+        self.tier = 0
         self._event = threading.Event()
 
     def done(self) -> bool:
         return self._event.is_set()
 
     def wait(self, timeout: float | None = None) -> np.ndarray:
+        if timeout is None and self.deadline is not None:
+            # Deadlined requests never block forever: the worker sheds
+            # them at drain time, and this backstop covers a worker stuck
+            # in the batch ahead.
+            timeout = self.deadline.remaining() + _DEADLINE_WAIT_GRACE
         if not self._event.wait(timeout):
             self.abandoned = True
+            if self.deadline is not None and self.deadline.expired():
+                raise DeadlineExceededError(
+                    "request deadline expired before a worker completed it"
+                )
             raise TimeoutError("prediction did not complete in time")
         if self.error is not None:
             raise _rewrap(self.error)
@@ -122,10 +177,17 @@ class ServiceStats:
     ``mean_batch`` is the coalescing health metric: at concurrency ``k``
     it should approach ``min(k, max_batch)``; 1.0 means every request ran
     alone and the service added queueing for nothing.  Latencies are
-    enqueue-to-completion seconds.  Example::
+    enqueue-to-completion seconds.  The resilience counters tally the
+    failure model: ``shed`` (deadline-expired, dropped before compute),
+    ``rejected`` (admission-queue overflow), ``degraded`` (answered by a
+    fallback tier), ``retried`` (re-predicted singly after a failed
+    batch), ``broken`` (failed fast on an open circuit breaker),
+    ``failed`` (completed with an error), ``worker_deaths`` (worker
+    threads that died mid-batch and were replaced).  Example::
 
         stats = service.stats()
         print(f"{stats.requests_per_sec:.0f} req/s, batch {stats.mean_batch:.1f}")
+        print(f"shed={stats.shed} degraded={stats.degraded}")
     """
 
     requests: int
@@ -135,6 +197,13 @@ class ServiceStats:
     latency_mean: float
     latency_p50: float
     latency_p95: float
+    shed: int = 0
+    rejected: int = 0
+    degraded: int = 0
+    retried: int = 0
+    broken: int = 0
+    failed: int = 0
+    worker_deaths: int = 0
 
     def to_dict(self) -> dict:
         """JSON-safe payload (used by the perf harness and the CLI)."""
@@ -146,6 +215,13 @@ class ServiceStats:
             "latency_mean_ms": round(self.latency_mean * 1e3, 3),
             "latency_p50_ms": round(self.latency_p50 * 1e3, 3),
             "latency_p95_ms": round(self.latency_p95 * 1e3, 3),
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "degraded": self.degraded,
+            "retried": self.retried,
+            "broken": self.broken,
+            "failed": self.failed,
+            "worker_deaths": self.worker_deaths,
         }
 
 
@@ -173,10 +249,38 @@ class ForecastService:
     per-thread model arena, so results stay identical to the sequential
     answers — on multi-core hardware this is the serving throughput
     lever.
+
+    Resilience knobs (all optional; see ``docs/serving.md``):
+
+    * ``deadline`` — default per-request time budget in seconds
+      (overridable per ``submit``).  Expired requests are shed *before*
+      compute with :class:`~repro.serving.DeadlineExceededError`.
+    * ``max_queue`` — admission-queue bound; ``submit`` raises
+      :class:`~repro.serving.ServiceOverloadedError` once that many
+      requests are waiting (load shedding / backpressure).
+    * ``fallback`` — one backend or a list of backends forming the
+      degradation ladder behind the primary; requests answered by a
+      fallback tier complete normally with ``handle.degraded = True``.
+      Passing a ready-made :class:`~repro.serving.FallbackChain` as
+      ``backend`` works too.  ``breaker_failures``/``breaker_reset``
+      configure the per-tier circuit breakers.
+    * ``fault_hook`` — chaos hook (:class:`~repro.serving.FaultPlan`),
+      fired at sites ``"service.predict"`` and ``"service.worker"``.
     """
 
     def __init__(
-        self, backend, *, max_batch: int = 8, max_delay: float = 0.002, workers: int = 1
+        self,
+        backend,
+        *,
+        max_batch: int = 8,
+        max_delay: float = 0.002,
+        workers: int = 1,
+        deadline: float | None = None,
+        max_queue: int | None = None,
+        fallback=None,
+        breaker_failures: int = 5,
+        breaker_reset: float = 30.0,
+        fault_hook=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -184,21 +288,55 @@ class ForecastService:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.backend = backend
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.workers = workers
+        self.deadline = deadline
+        self.max_queue = max_queue
+        self._fault_hook = fault_hook
+        # The degradation ladder: an explicit FallbackChain backend is
+        # used as-is; a `fallback` backend (or list of them) is chained
+        # behind the primary with per-tier circuit breakers.
+        if isinstance(backend, FallbackChain):
+            self._chain: FallbackChain | None = backend
+        elif fallback is not None:
+            tiers = list(fallback) if isinstance(fallback, (list, tuple)) else [fallback]
+            self._chain = FallbackChain(
+                [backend, *tiers],
+                failure_threshold=breaker_failures,
+                reset_timeout=breaker_reset,
+            )
+        else:
+            self._chain = None
         self._pending: deque[_PendingRequest] = deque()
         self._cond = threading.Condition()
         self._alive = False
         self._last_batch = 0
         self._generation = 0
+        self._respawns = 0
         self._threads: list[threading.Thread] = []
         self._requests = 0
         self._batches = 0
         self._coalesced = 0
+        self._shed = 0
+        self._rejected = 0
+        self._degraded = 0
+        self._retried = 0
+        self._broken = 0
+        self._failed = 0
+        self._worker_deaths = 0
         self._latencies: deque[float] = deque(maxlen=4096)
         self._started_at: float | None = None
+
+    def _fault(self, site: str, **info) -> None:
+        # Chaos hook point; a no-op unless a fault_hook was wired in.
+        if self._fault_hook is not None:
+            self._fault_hook(site, **info)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -268,39 +406,76 @@ class ForecastService:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    def submit(self, window: np.ndarray) -> _PendingRequest:
+    def submit(
+        self, window: np.ndarray, *, deadline: float | None = None
+    ) -> _PendingRequest:
         """Enqueue one raw-count window ``(R, W, C)``; returns a handle.
 
         The handle's ``wait(timeout=None)`` blocks until the worker
         completes the batch containing this request and returns the
-        ``(R, C)`` expected counts (re-raising any backend error).
+        ``(R, C)`` expected counts (re-raising any backend error); after
+        completion ``handle.degraded`` tells whether a fallback tier
+        (rather than the primary model) produced the answer.
         Submitting from many threads is safe and is the point: concurrent
         submissions coalesce into shared batches.
+
+        ``deadline`` is this request's time budget in seconds (default:
+        the service-wide ``deadline``).  A request still queued when its
+        deadline expires is shed before compute and fails with
+        :class:`~repro.serving.DeadlineExceededError`.  When the
+        admission queue is full (``max_queue``) the request is rejected
+        immediately with :class:`~repro.serving.ServiceOverloadedError`.
         """
         window = np.asarray(window, dtype=float)
         if window.ndim != 3:
             raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
-        request = _PendingRequest(window)
+        budget = deadline if deadline is not None else self.deadline
+        request = _PendingRequest(
+            window, Deadline.after(budget) if budget is not None else None
+        )
         with self._cond:
             if not self._alive:
-                raise RuntimeError("service is not running; call start() first")
+                raise ServiceStoppedError(
+                    "service is not running; call start() first"
+                )
+            if self.max_queue is not None and len(self._pending) >= self.max_queue:
+                self._rejected += 1
+                raise ServiceOverloadedError(
+                    f"admission queue is full ({self.max_queue} requests waiting); "
+                    "back off and retry"
+                )
             self._pending.append(request)
             self._cond.notify_all()
         return request
 
-    def predict(self, window: np.ndarray, timeout: float | None = None) -> np.ndarray:
+    def predict(
+        self,
+        window: np.ndarray,
+        timeout: float | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> np.ndarray:
         """Blocking convenience wrapper: ``submit(window).wait(timeout)``."""
-        return self.submit(window).wait(timeout)
+        return self.submit(window, deadline=deadline).wait(timeout)
 
-    def predict_many(self, windows, timeout: float | None = None) -> list[np.ndarray]:
+    def predict_many(
+        self,
+        windows,
+        timeout: float | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> list[np.ndarray]:
         """Submit a client-side burst, then gather in order.
 
         All windows are enqueued before the first wait, so one client can
         fill whole micro-batches by itself::
 
             results = service.predict_many(stream_of_windows)
+
+        ``deadline`` applies per request (each window gets its own fresh
+        budget at submit time).
         """
-        handles = [self.submit(w) for w in windows]
+        handles = [self.submit(w, deadline=deadline) for w in windows]
         return [h.wait(timeout) for h in handles]
 
     # ------------------------------------------------------------------
@@ -312,6 +487,15 @@ class ForecastService:
             latencies = sorted(self._latencies)
             requests, batches = self._requests, self._batches
             coalesced = self._coalesced
+            resilience = (
+                self._shed,
+                self._rejected,
+                self._degraded,
+                self._retried,
+                self._broken,
+                self._failed,
+                self._worker_deaths,
+            )
             elapsed = (
                 time.perf_counter() - self._started_at if self._started_at else 0.0
             )
@@ -321,6 +505,7 @@ class ForecastService:
                 return 0.0
             return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
 
+        shed, rejected, degraded, retried, broken, failed, worker_deaths = resilience
         return ServiceStats(
             requests=requests,
             batches=batches,
@@ -329,6 +514,13 @@ class ForecastService:
             latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
             latency_p50=pct(0.50),
             latency_p95=pct(0.95),
+            shed=shed,
+            rejected=rejected,
+            degraded=degraded,
+            retried=retried,
+            broken=broken,
+            failed=failed,
+            worker_deaths=worker_deaths,
         )
 
     def reset_stats(self) -> None:
@@ -337,6 +529,13 @@ class ForecastService:
             self._requests = 0
             self._batches = 0
             self._coalesced = 0
+            self._shed = 0
+            self._rejected = 0
+            self._degraded = 0
+            self._retried = 0
+            self._broken = 0
+            self._failed = 0
+            self._worker_deaths = 0
             self._latencies.clear()
             self._started_at = time.perf_counter()
 
@@ -390,30 +589,118 @@ class ForecastService:
             if not batch:
                 return  # stopped (or superseded by a newer start) and drained
             try:
-                stacked = np.stack([request.window for request in batch])
-                predictions = self.backend.predict(stacked)
-                outcomes = [(row, None) for row in predictions]
+                self._process(batch)
+            except BaseException as exc:  # noqa: BLE001 - worker died mid-batch
+                # Anything escaping _process is a worker crash (request
+                # failures are isolated inside): fail the in-flight batch
+                # with a typed error so no waiter hangs, then respawn a
+                # replacement worker and let this thread die.
+                crash = WorkerCrashedError(
+                    f"serving worker {threading.current_thread().name!r} died "
+                    f"mid-batch: {exc!r}"
+                )
+                crash.__cause__ = exc
+                with self._cond:
+                    self._worker_deaths += 1
+                    self._failed += sum(1 for r in batch if not r.done())
+                for request in batch:
+                    if not request.done():
+                        request._complete(None, crash)
+                self._spawn_replacement(generation)
+                return
+
+    def _spawn_replacement(self, generation: int) -> None:
+        """Replace a crashed worker so the pool keeps its size.
+
+        Only spawns while the service is alive and the dead worker's
+        generation is current — a crash during shutdown (or on a
+        superseded worker) must not resurrect the pool.
+        """
+        with self._cond:
+            if not self._alive or self._generation != generation:
+                return
+            self._respawns += 1
+            thread = threading.Thread(
+                target=self._run,
+                args=(generation,),
+                name=f"forecast-service-respawn-{self._respawns}",
+                daemon=True,
+            )
+            self._threads = [t for t in self._threads if t.is_alive()] + [thread]
+            thread.start()
+
+    def _backend_predict(self, stacked: np.ndarray) -> tuple[np.ndarray, int]:
+        """One backend call: ``(predictions, serving_tier)``.
+
+        Tier 0 is the primary; > 0 means a fallback tier answered and the
+        requests should be flagged degraded.  The ``service.predict``
+        fault site lives here so injected raises/delays hit both the
+        batched call and the per-request isolation retries.
+        """
+        self._fault("service.predict", batch=len(stacked))
+        if self._chain is not None:
+            return self._chain.predict_tiered(stacked)
+        return self.backend.predict(stacked), 0
+
+    def _process(self, batch: list[_PendingRequest]) -> None:
+        """Shed expired requests, predict the rest, complete every handle."""
+        # Worker-death injection site: outside all per-request isolation,
+        # so a raise here kills the worker thread (simulating a crash).
+        self._fault("service.worker", batch=len(batch))
+        live: list[_PendingRequest] = []
+        shed: list[_PendingRequest] = []
+        for request in batch:
+            # Shed *before* compute: an expired request never reaches the
+            # backend, so overload cannot snowball into more overload.
+            if request.deadline is not None and request.deadline.expired():
+                shed.append(request)
+            else:
+                live.append(request)
+        outcomes: list[tuple[np.ndarray | None, BaseException | None, int]] = []
+        retried = 0
+        if live:
+            try:
+                stacked = np.stack([request.window for request in live])
+                predictions, tier = self._backend_predict(stacked)
+                outcomes = [(row, None, tier) for row in predictions]
             except BaseException:  # noqa: BLE001 - fall back to isolation
                 # Heterogeneous shapes or a data-dependent failure: retry
                 # singly so one bad request cannot poison its neighbours.
-                outcomes = []
-                for request in batch:
+                retried = len(live)
+                for request in live:
                     try:
-                        outcomes.append(
-                            (self.backend.predict(request.window[None])[0], None)
-                        )
+                        rows, tier = self._backend_predict(request.window[None])
+                        outcomes.append((rows[0], None, tier))
                     except BaseException as exc:  # noqa: BLE001 - to caller
-                        outcomes.append((None, exc))
-            now = time.perf_counter()
-            with self._cond:
-                self._requests += len(batch)
-                self._batches += 1
-                self._coalesced += len(batch)
-                for request in batch:
-                    # A request whose waiter already timed out completes
-                    # arbitrarily late; recording it would skew the
-                    # latency percentiles towards the timeout path.
-                    if not request.abandoned:
-                        self._latencies.append(now - request.enqueued_at)
-            for request, (result, error) in zip(batch, outcomes):
-                request._complete(result, error)
+                        outcomes.append((None, exc, 0))
+        now = time.perf_counter()
+        with self._cond:
+            self._requests += len(batch)
+            self._batches += 1
+            self._coalesced += len(batch)
+            self._shed += len(shed)
+            self._retried += retried
+            for request, (result, error, tier) in zip(live, outcomes):
+                if error is not None:
+                    self._failed += 1
+                    if isinstance(error, CircuitOpenError):
+                        self._broken += 1
+                elif tier > 0:
+                    self._degraded += 1
+                # A request whose waiter already timed out completes
+                # arbitrarily late; recording it would skew the
+                # latency percentiles towards the timeout path.  Shed
+                # requests never ran, so they are excluded too.
+                if not request.abandoned:
+                    self._latencies.append(now - request.enqueued_at)
+        for request in shed:
+            request._complete(
+                None,
+                DeadlineExceededError(
+                    "deadline expired while queued; request shed before compute"
+                ),
+            )
+        for request, (result, error, tier) in zip(live, outcomes):
+            request.tier = tier
+            request.degraded = tier > 0
+            request._complete(result, error)

@@ -10,13 +10,21 @@ capacity contract under contention.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro import nn
 from repro.api import DataSpec, ExperimentBudget, Forecaster
-from repro.serving import ForecastService, ModelPool, ShardRouter, train_shards
+from repro.serving import (
+    DeadlineExceededError,
+    ForecastService,
+    InjectedFault,
+    ModelPool,
+    ShardRouter,
+    train_shards,
+)
 
 BUDGET = ExperimentBudget(window=8, epochs=1, train_limit=4, seed=0)
 DATASET = DataSpec(city="nyc", rows=4, cols=4, num_days=60, seed=0).load()
@@ -304,6 +312,149 @@ class TestPoolPinContention:
         run_threads(worker)
         assert len({id(fc) for fc in seen}) == 1  # one shared entry
         assert pool.stats().loads == 1
+
+
+class TestMixedHealthyAndFaultyTraffic:
+    """Per-request error isolation under a multi-worker pool: faulty
+    requests fail with their own typed error while healthy neighbours —
+    possibly in flight on the sibling worker at the same moment — stay
+    bitwise equal to the sequential answers."""
+
+    class Poisonable:
+        """Backend that raises for sentinel (negated) windows."""
+
+        def __init__(self, inner):
+            self.inner = inner
+
+        def predict(self, batch):
+            if np.any(batch < 0):
+                raise InjectedFault("poisoned window")
+            return self.inner.predict(batch)
+
+    def test_healthy_requests_bitwise_equal_despite_faulty_neighbours(self, fitted):
+        healthy = windows(8)
+        expected = [fitted.predict(w) for w in healthy]
+        faulty = [-w - 1.0 for w in windows(4)]  # strictly negative sentinel
+        results = {}
+        errors = {}
+        backend = self.Poisonable(fitted)
+        # max_batch=1: every request runs the exact single-window path, so
+        # healthy answers must be bitwise equal, not merely close.
+        with ForecastService(backend, max_batch=1, workers=2) as service:
+
+            def worker(idx):
+                if idx % 3 == 2:  # every third thread sends poison
+                    errors[idx] = []
+                    for w in faulty:
+                        with pytest.raises(InjectedFault, match="poisoned"):
+                            service.predict(w, timeout=30)
+                        errors[idx].append("typed")
+                else:
+                    results[idx] = [service.predict(w, timeout=30) for w in healthy]
+
+            run_threads(worker)
+            stats = service.stats()
+            assert service.running  # faulty traffic never killed a worker
+        for idx, got_list in results.items():
+            for got, want in zip(got_list, expected):
+                assert np.array_equal(got, want)
+        assert all(len(e) == len(faulty) for e in errors.values())
+        assert stats.failed == sum(len(e) for e in errors.values())
+
+    def test_coalesced_mixed_batches_isolate_poison(self, fitted):
+        """With coalescing on, a poisoned batch falls back to per-request
+        isolation: healthy members still answer within tolerance."""
+        healthy = windows(6)
+        expected = [fitted.predict(w) for w in healthy]
+        backend = self.Poisonable(fitted)
+        with ForecastService(backend, max_batch=4, max_delay=0.05, workers=2) as service:
+            handles = [service.submit(w) for w in healthy]
+            bad = service.submit(-healthy[0] - 1.0)
+            for handle, want in zip(handles, expected):
+                assert np.allclose(handle.wait(timeout=30), want, atol=1e-10)
+            with pytest.raises(InjectedFault):
+                bad.wait(timeout=30)
+            stats = service.stats()
+        assert stats.failed == 1
+        assert stats.retried >= 1  # at least one batch fell back to isolation
+
+
+class TestDeadlineExpiryAndAbandonment:
+    """The deadline/abandoned interaction: a waiter that gives up early,
+    a deadline that lapses while queued, and the latency stats staying
+    clean through both."""
+
+    class Gate:
+        def __init__(self, inner, release):
+            self.inner = inner
+            self.release = release
+            self.first = True
+
+        def predict(self, batch):
+            if self.first:
+                self.first = False
+                self.release.wait(10)
+            return self.inner.predict(batch)
+
+    def test_abandoned_then_shed_request_settles_as_deadline_exceeded(self, fitted):
+        release = threading.Event()
+        with ForecastService(
+            self.Gate(fitted, release), max_batch=1, max_delay=0.0
+        ) as service:
+            blocker = service.submit(windows(1)[0])
+            doomed = service.submit(windows(1)[0], deadline=0.05)
+            # The waiter gives up before the deadline lapses: generic
+            # timeout, and the handle is marked abandoned.
+            with pytest.raises(TimeoutError) as excinfo:
+                doomed.wait(timeout=0.01)
+            assert not isinstance(excinfo.value, DeadlineExceededError)
+            assert doomed.abandoned
+            time.sleep(0.1)  # now the deadline has lapsed too
+            release.set()
+            blocker.wait(timeout=10)
+            # The worker sheds the expired request; later waits see the
+            # settled typed error, not another timeout.
+            with pytest.raises(DeadlineExceededError, match="shed before compute"):
+                doomed.wait(timeout=10)
+            for _ in range(3):
+                service.predict(windows(1)[0], timeout=10)
+            stats = service.stats()
+        assert stats.shed == 1
+        # Neither the abandoned/shed request nor the gated blocker skews
+        # the percentiles: only the three fast requests are measured.
+        assert 0 < stats.latency_p95 < 0.2
+
+    def test_wait_backstop_types_the_timeout_once_the_deadline_lapsed(self, fitted):
+        release = threading.Event()
+        with ForecastService(
+            self.Gate(fitted, release), max_batch=1, max_delay=0.0
+        ) as service:
+            blocker = service.submit(windows(1)[0])
+            doomed = service.submit(windows(1)[0], deadline=0.05)
+            # The waiter outlives the deadline: the backstop raises the
+            # *typed* timeout even though no worker has shed it yet.
+            with pytest.raises(DeadlineExceededError):
+                doomed.wait(timeout=0.2)
+            assert doomed.abandoned
+            release.set()
+            blocker.wait(timeout=10)
+
+    def test_deadlined_wait_without_timeout_never_hangs(self, fitted):
+        """wait() with no explicit timeout derives one from the deadline
+        (plus grace), so a deadlined request can never block forever."""
+        release = threading.Event()
+        with ForecastService(
+            self.Gate(fitted, release), max_batch=1, max_delay=0.0
+        ) as service:
+            blocker = service.submit(windows(1)[0])
+            doomed = service.submit(windows(1)[0], deadline=0.05)
+            time.sleep(0.1)
+            release.set()
+            blocker.wait(timeout=10)
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                doomed.wait()  # no timeout argument
+            assert time.monotonic() - start < 5  # settled, not grace-blocked
 
 
 class TestThreadLocalStateInServingContext:

@@ -139,6 +139,19 @@ class TestEndToEnd:
         assert "workers=2" in out
         assert "requests_per_sec" in out
 
+    def test_serve_with_resilience_flags(self, trained_checkpoint, capsys):
+        code = main(
+            ["serve", *SMALL, "--checkpoint", str(trained_checkpoint),
+             "--requests", "12", "--concurrency", "2", "--max-batch", "2",
+             "--deadline-ms", "5000", "--max-queue", "64", "--fallback", "HA"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deadline=5000" in out and "max_queue=64" in out
+        assert "fallback=HA" in out
+        # the throughput table reports the resilience counters
+        assert "shed" in out and "degraded" in out and "rejected" in out
+
     def test_migrate_artifact_rewrites_v1_in_place_equivalent(self, trained_checkpoint, tmp_path, capsys):
         """A v1 checkpoint migrates on disk and evaluates identically."""
         from repro import nn
