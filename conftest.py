@@ -12,3 +12,8 @@ def pytest_configure(config):
         "chaos: fault-injection suite driving the serving resilience layer "
         "(deterministic FaultPlan chaos; select with -m chaos)",
     )
+    config.addinivalue_line(
+        "markers",
+        "lint_smoke: repo-invariant linter gate (runs `repro lint` over the "
+        "real tree and the seeded-violation fixtures; select with -m lint_smoke)",
+    )

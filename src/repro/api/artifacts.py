@@ -59,6 +59,7 @@ __all__ = [
     "migrate",
     "read_artifact",
     "register_migration",
+    "validate_manifest",
     "write_artifact",
 ]
 

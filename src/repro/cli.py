@@ -10,6 +10,7 @@ Subcommands::
     python -m repro.cli forecast --checkpoint model.npz --horizon 7
     python -m repro.cli serve --checkpoint model.npz --concurrency 4
     python -m repro.cli migrate-artifact --checkpoint old.npz --out new.npz
+    python -m repro.cli lint --format json
 
 All commands operate on the synthetic datasets (deterministic by
 ``--seed``) at a geometry chosen via ``--rows/--cols/--days``.  Every
@@ -36,7 +37,7 @@ from .data import SyntheticCrimeGenerator, load_city, write_events_csv
 from .training import WindowDataset
 from .training.forecast import evaluate_horizon
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
 def _add_data_args(parser: argparse.ArgumentParser) -> None:
@@ -96,7 +97,7 @@ def _print_metrics(evaluation) -> None:
     print(format_table(["category", "MAE", "MAPE"], rows))
 
 
-def cmd_generate(args) -> int:
+def _cmd_generate(args) -> int:
     dataset = _data_spec(args).load()
     generator = SyntheticCrimeGenerator(dataset.config, seed=args.seed)
     events = generator.generate_events(dataset.tensor)
@@ -105,7 +106,7 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
+def _cmd_train(args) -> int:
     spec = _run_spec(args, args.model)
     dataset = spec.data.load()
     forecaster = spec.forecaster()
@@ -122,7 +123,7 @@ def cmd_train(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
+def _cmd_evaluate(args) -> int:
     forecaster = Forecaster.load(args.checkpoint)
     print(f"loaded {forecaster.model_name} artifact (window={forecaster.window})")
     dataset = _data_spec(args).load()
@@ -130,7 +131,7 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def _cmd_compare(args) -> int:
     dataset = _data_spec(args).load()
     names = list(dict.fromkeys(list(args.models) + ["ST-HSL"]))
     scores = {}
@@ -144,7 +145,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_forecast(args) -> int:
+def _cmd_forecast(args) -> int:
     forecaster = Forecaster.load(args.checkpoint)
     dataset = _data_spec(args).load()
     forecaster.check_compatible(dataset)
@@ -155,7 +156,7 @@ def cmd_forecast(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def _cmd_serve(args) -> int:
     """Demo serving session: concurrent clients against a ForecastService."""
     from .analysis.perf import drive_clients
     from .serving import ForecastService, ModelPool, build_fallback_tier
@@ -204,7 +205,7 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def cmd_migrate_artifact(args) -> int:
+def _cmd_migrate_artifact(args) -> int:
     """Rewrite an artifact at the current schema version."""
     from . import nn
     from .api.artifacts import migrate, validate_manifest
@@ -221,6 +222,22 @@ def cmd_migrate_artifact(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the repo-invariant linter; exit 1 on unsuppressed findings."""
+    from .devtools import all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}: {rule.description}")
+        return 0
+    report = run_lint(root=args.root)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -229,7 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("generate", help="write a synthetic crime event CSV")
     _add_data_args(p)
     p.add_argument("--out", required=True)
-    p.set_defaults(func=cmd_generate)
+    p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("train", help="train a registered model and report test metrics")
     _add_data_args(p)
@@ -240,12 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-limit", type=int, default=40)
     p.add_argument("--patience", type=int, default=None)
     p.add_argument("--checkpoint", default=None)
-    p.set_defaults(func=cmd_train)
+    p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a saved artifact (model comes from the file)")
     _add_data_args(p)
     p.add_argument("--checkpoint", required=True)
-    p.set_defaults(func=cmd_evaluate)
+    p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("compare", help="train registered models + ST-HSL and rank them")
     _add_data_args(p)
@@ -255,13 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--models", nargs="+", default=["ARIMA", "STGCN", "DeepCrime"], choices=registered,
     )
-    p.set_defaults(func=cmd_compare)
+    p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("forecast", help="multi-step recursive forecast from a saved artifact")
     _add_data_args(p)
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--horizon", type=int, default=7)
-    p.set_defaults(func=cmd_forecast)
+    p.set_defaults(func=_cmd_forecast)
 
     p = sub.add_parser(
         "serve", help="run a micro-batching forecast service demo and report throughput"
@@ -303,7 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="degraded-fallback tier built from the checkpoint geometry "
         "(an untrained-servable model, e.g. HA)",
     )
-    p.set_defaults(func=cmd_serve)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "migrate-artifact", help="rewrite a checkpoint artifact at the current schema"
@@ -316,7 +333,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also set the manifest's served_dtype while migrating",
     )
-    p.set_defaults(func=cmd_migrate_artifact)
+    p.set_defaults(func=_cmd_migrate_artifact)
+
+    p = sub.add_parser(
+        "lint", help="run the repo-invariant linter over the repro package"
+    )
+    p.add_argument(
+        "--root", default=None, help="directory to lint (default: the repro package)"
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings (with their reasons) in text output",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

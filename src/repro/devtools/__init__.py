@@ -1,0 +1,70 @@
+"""``repro.devtools`` — static analysis and runtime checkers for repo invariants.
+
+The correctness of this codebase rests on cross-cutting invariants that
+no single test file owns: no-grad fast paths must never build autograd
+graph nodes, execution state must stay inside the thread-local
+:class:`~repro.nn.ExecutionContext`, every shared serving structure must
+mutate only under its lock, and serving code must fail through the typed
+:class:`~repro.serving.ServingError` taxonomy.  This package turns those
+rules from tribal knowledge into machine-checked gates, in two layers:
+
+* :mod:`repro.devtools.lint` — an AST-based invariant linter.  A small
+  rule engine walks every file under ``src/repro``, applies the
+  registered :class:`~repro.devtools.lint.Rule` checks, and reports
+  findings with ``file:line``, a rule id and a fix hint.  Individual
+  lines opt out with ``# repro: ignore[rule-id] -- reason`` comments,
+  and the engine checks the suppressions themselves (a reason is
+  mandatory; a suppression that no longer matches a finding is flagged
+  as stale).  Run it as ``python -m repro.cli lint`` (text or ``--format
+  json``; exit code 1 on any unsuppressed finding) or via
+  :func:`run_lint`.
+* :mod:`repro.devtools.runtime` — a runtime lock checker.  A
+  :class:`LockMonitor` plus instrumented lock/condition wrappers record
+  every acquisition, detect lock-order inversions (the deadlock
+  precondition) and long-held locks, and are wired into the serving
+  chaos suite (``pytest -m chaos``) through an autouse conftest fixture
+  that instruments every serving component's locks.
+
+Usage::
+
+    from repro.devtools import run_lint
+
+    report = run_lint()                      # lints the installed repro tree
+    assert not report.unsuppressed, report.render_text()
+"""
+
+from .lint import (
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    register_rule,
+    run_lint,
+)
+from .runtime import (
+    LockMonitor,
+    LockOrderError,
+    MonitoredCondition,
+    MonitoredLock,
+    instrument,
+)
+
+__all__ = [
+    # linter
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+    "run_lint",
+    # runtime lock checker
+    "LockMonitor",
+    "LockOrderError",
+    "MonitoredLock",
+    "MonitoredCondition",
+    "instrument",
+]

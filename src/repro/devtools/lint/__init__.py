@@ -1,0 +1,42 @@
+"""``repro.devtools.lint`` — the AST-based repo-invariant linter.
+
+The engine (:mod:`~repro.devtools.lint.engine`) walks python files,
+runs every registered :class:`Rule` and merges findings with inline
+``# repro: ignore[rule-id] -- reason`` suppressions; the shipped rules
+live under :mod:`repro.devtools.lint.rules`, one module per invariant
+family.  Typical use::
+
+    from repro.devtools.lint import run_lint
+
+    report = run_lint()                    # whole installed tree
+    print(report.render_text())
+    raise SystemExit(report.exit_code())
+"""
+
+from .engine import (
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    Suppression,
+    all_rules,
+    default_root,
+    lint_file,
+    lint_paths,
+    register_rule,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "default_root",
+    "lint_file",
+    "lint_paths",
+    "run_lint",
+    "LintReport",
+]

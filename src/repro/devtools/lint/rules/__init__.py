@@ -1,0 +1,15 @@
+"""Shipped lint rules, one module per invariant family.
+
+Importing this package registers every rule with the engine registry
+(each module applies :func:`~repro.devtools.lint.register_rule` at
+import time); :func:`repro.devtools.lint.all_rules` triggers the import,
+so callers never need to import these modules directly::
+
+    from repro.devtools.lint import all_rules
+
+    assert "lock-discipline" in {rule.id for rule in all_rules()}
+"""
+
+from . import determinism, errors, exports, locks, nograd, state
+
+__all__ = ["determinism", "errors", "exports", "locks", "nograd", "state"]

@@ -1,0 +1,120 @@
+"""Rule ``all-export-consistency``: ``__all__`` matches the public surface.
+
+``__all__`` is load-bearing here: the docs walker
+(``tests/docs/test_public_api_docs.py``) enforces docstrings on exactly
+the names modules export, so a public class missing from ``__all__``
+silently escapes the documentation contract, and a stale name in
+``__all__`` breaks ``from module import *`` and the walker alike.
+
+For every module that declares ``__all__`` this rule checks both
+directions: each exported name must be defined (or imported) in the
+module, and each public module-level function/class *defined* in the
+module must be exported.  Imported names are never required to be
+re-exported (modules import freely without re-publishing), and
+underscore-prefixed definitions are private by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["AllExportConsistency"]
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str], int] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        names = [
+                            elt.value
+                            for elt in node.value.elts
+                            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                        ]
+                        return names, node.lineno
+    return None
+
+
+@register_rule
+class AllExportConsistency(Rule):
+    """``__all__`` entries exist; public defs are in ``__all__``.
+
+    Example::
+
+        __all__ = ["launch", "Gone"]     # FLAGGED: "Gone" is not defined
+
+        def launch(): ...                # ok: exported
+        def helper(): ...                # FLAGGED: public def not exported
+        def _internal(): ...             # ok: private by prefix
+    """
+
+    id = "all-export-consistency"
+    description = (
+        "__all__ names must exist, and public module-level defs must "
+        "appear in __all__"
+    )
+    hint = (
+        "add the name to __all__ (public) or prefix it with an underscore "
+        "(internal)"
+    )
+    paths = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        declared = _declared_all(ctx.tree)
+        if declared is None:
+            return
+        exported, all_line = declared
+
+        defined: dict[str, int] = {}
+        bound: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined[node.name] = node.lineno
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+
+        star_imports = any(
+            isinstance(node, ast.ImportFrom)
+            and any(alias.name == "*" for alias in node.names)
+            for node in ctx.tree.body
+        )
+        if ctx.relpath.endswith("__init__.py"):
+            # A package __init__ may export its submodules by name alone:
+            # `from package import *` imports the listed modules itself.
+            pkg_dir = ctx.path.parent
+            for name in exported:
+                if (pkg_dir / f"{name}.py").exists() or (
+                    pkg_dir / name / "__init__.py"
+                ).exists():
+                    bound.add(name)
+        for name in exported:
+            if name not in bound and not star_imports:
+                yield ctx.finding(
+                    self,
+                    all_line,
+                    f"__all__ exports {name!r}, which is not defined or "
+                    "imported in the module",
+                    hint="remove the stale entry or define the name",
+                )
+
+        exported_set = set(exported)
+        for name, line in sorted(defined.items(), key=lambda kv: kv[1]):
+            if not name.startswith("_") and name not in exported_set:
+                yield ctx.finding(
+                    self,
+                    line,
+                    f"public definition {name!r} is missing from __all__",
+                )

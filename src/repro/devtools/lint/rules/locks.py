@@ -1,0 +1,145 @@
+"""Rule ``lock-discipline``: lock-owning classes mutate under their lock.
+
+Every shared structure in ``repro.serving`` follows one convention: the
+class creates its lock(s) in ``__init__`` (``self._lock``,
+``self._cond``, ...) and every attribute write after construction
+happens inside ``with self.<lock>:``.  The stress suites only catch a
+violation when a race actually fires; this rule catches the *pattern* —
+any ``self.<attr>`` assignment in a method of a lock-owning class that
+is not lexically inside a ``with`` on one of the class's locks.
+
+Two sanctioned escapes:
+
+* ``__init__`` is exempt (no other thread can hold a reference yet);
+* methods whose name ends in ``_locked`` are exempt — the suffix is the
+  repo convention for "every caller already holds the lock" (e.g.
+  ``ModelPool._evict_to_capacity_locked``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["LockDiscipline"]
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attributes assigned a Lock/RLock/Condition anywhere in the class."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else getattr(callee, "id", "")
+            if name in _LOCK_FACTORIES:
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        locks.add(attr)
+    return locks
+
+
+def _write_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return []
+    flat: list[ast.expr] = []
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            flat.extend(target.elts)
+        else:
+            flat.append(target)
+    return flat
+
+
+@register_rule
+class LockDiscipline(Rule):
+    """Unguarded ``self.<attr>`` writes in lock-owning serving classes.
+
+    Example violation (the pattern this rule was seeded with — stats
+    counters written outside the service lock)::
+
+        class Service:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._requests = 0
+
+            def record(self):
+                self._requests += 1          # FLAGGED: not under self._lock
+
+            def record_safely(self):
+                with self._lock:
+                    self._requests += 1      # ok
+    """
+
+    id = "lock-discipline"
+    description = (
+        "classes owning a lock must write their attributes only inside "
+        "`with self.<lock>:` blocks"
+    )
+    hint = (
+        "wrap the write in `with self.<lock>:`, or suffix the method with "
+        "`_locked` if every caller already holds the lock"
+    )
+    paths = ("serving/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ctx.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__" or method.name.endswith("_locked"):
+                    continue
+                yield from self._check_method(ctx, cls.name, method, locks)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        cls_name: str,
+        method: ast.FunctionDef,
+        locks: set[str],
+    ) -> Iterator[Finding]:
+        def visit(node: ast.AST, guarded: bool) -> Iterator[Finding]:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                holds = guarded or any(
+                    _self_attr(item.context_expr) in locks for item in node.items
+                )
+                for child in node.body:
+                    yield from visit(child, holds)
+                return
+            for target in _write_targets(node) if isinstance(node, ast.stmt) else ():
+                attr = _self_attr(target)
+                if attr is not None and attr not in locks and not guarded:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{cls_name}.{method.name} writes self.{attr} outside "
+                        f"`with self.{'/'.join(sorted(locks))}:`",
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, guarded)
+
+        for stmt in method.body:
+            yield from visit(stmt, False)

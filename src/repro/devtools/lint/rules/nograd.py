@@ -1,0 +1,161 @@
+"""Rule ``no-graph-under-nograd``: the inference fast path builds no graph.
+
+PR 3 made inference graph-free: every op in ``nn/tensor.py`` and
+``nn/ops.py`` hoists a no-grad branch that returns a slim
+``Tensor._from_array`` result *before* any backward closure or
+``Tensor._make`` call is constructed.  The whole arena/serving stack
+assumes this — a graph node built under ``no_grad`` would capture arena
+buffers in closures and resurrect the shared-state races PR 5 removed.
+
+This rule enforces the pattern structurally: any function that calls
+``Tensor._make`` (or defines a ``backward`` closure) must first take a
+hoisted no-grad early return — ``if not is_grad_enabled(): return ...``,
+``if not _CTX.grad_enabled: return ...``, or ``if inference: return ...``
+where ``inference`` binds one of those tests — and the graph
+construction must not be reachable from inside that branch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["NoGraphUnderNoGrad"]
+
+
+def _is_grad_call(node: ast.AST) -> bool:
+    # is_grad_enabled() / tensor.is_grad_enabled() / _CTX.grad_enabled
+    if isinstance(node, ast.Attribute):
+        return node.attr == "grad_enabled"
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    return name == "is_grad_enabled"
+
+
+def _is_inference_test(test: ast.AST, inference_names: set[str]) -> bool:
+    # `not is_grad_enabled()` or a name bound to that expression.
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _is_grad_call(test.operand)
+    if isinstance(test, ast.Name):
+        return test.id in inference_names
+    return False
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1], (ast.Return, ast.Raise))
+
+
+def _graph_nodes(func: ast.AST) -> list[ast.AST]:
+    """Graph-construction sites inside ``func``: ``Tensor._make`` calls
+    and nested ``backward`` closure definitions."""
+    sites: list[ast.AST] = []
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute) and callee.attr == "_make":
+                sites.append(node)
+        elif isinstance(node, ast.FunctionDef) and node.name == "backward":
+            sites.append(node)
+    return sites
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    # Module-level functions and class methods; nested closures (the
+    # backward functions themselves) are analysed as part of their owner.
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item
+
+
+@register_rule
+class NoGraphUnderNoGrad(Rule):
+    """No ``Tensor._make``/backward-closure reachable on the no-grad path.
+
+    Flags op functions whose graph construction is not protected by a
+    hoisted inference early-return, and graph construction placed
+    *inside* the inference branch itself::
+
+        def op(x):                       # FLAGGED: no hoisted guard
+            return Tensor._make(x.data, (x,), backward)
+
+        def op(x):                       # ok
+            if not is_grad_enabled():
+                return Tensor._from_array(x.data)
+            return Tensor._make(x.data, (x,), backward)
+    """
+
+    id = "no-graph-under-nograd"
+    description = (
+        "functions building autograd graph nodes must hoist a no-grad "
+        "early return so inference never constructs closures"
+    )
+    hint = (
+        "hoist `if not is_grad_enabled(): return Tensor._from_array(...)` "
+        "above the Tensor._make call / backward closure"
+    )
+    paths = ("nn/ops.py", "nn/tensor.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _functions(ctx.tree):
+            if func.name in ("_make", "_from_array"):
+                continue  # the constructors themselves
+            sites = _graph_nodes(func)
+            if not sites:
+                continue
+
+            inference_names: set[str] = set()
+            guards: list[ast.If] = []
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.UnaryOp):
+                    value = node.value
+                    if isinstance(value.op, ast.Not) and _is_grad_call(value.operand):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                inference_names.add(target.id)
+                if isinstance(node, ast.If) and _is_inference_test(
+                    node.test, inference_names
+                ):
+                    guards.append(node)
+
+            terminating = [g for g in guards if _terminates(g.body)]
+            for site in sites:
+                label = (
+                    "backward closure"
+                    if isinstance(site, ast.FunctionDef)
+                    else "Tensor._make call"
+                )
+                inside = next(
+                    (
+                        g
+                        for g in guards
+                        if g.body[0].lineno <= site.lineno <= (g.body[-1].end_lineno or site.lineno)
+                    ),
+                    None,
+                )
+                if inside is not None:
+                    yield ctx.finding(
+                        self,
+                        site,
+                        f"{func.name}: {label} inside the no-grad fast-path branch",
+                        hint="the inference branch must stay graph-free; move "
+                        "graph construction below the early return",
+                    )
+                    continue
+                hoisted = any(g.lineno < site.lineno for g in terminating)
+                if not hoisted:
+                    yield ctx.finding(
+                        self,
+                        site,
+                        f"{func.name}: {label} has no hoisted no-grad guard "
+                        "before it",
+                    )

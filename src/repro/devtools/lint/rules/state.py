@@ -1,0 +1,117 @@
+"""Rule ``no-process-global-state``: mutable state lives in the context.
+
+PR 5 moved every piece of ambient execution state into the thread-local
+:class:`~repro.nn.ExecutionContext` precisely because module-level
+mutable globals are shared across threads — one worker's scope leaked
+into every other.  This rule keeps the door shut: in ``repro.nn`` and
+``repro.serving`` no module-level binding may create a mutable container
+or synchronisation primitive.  Immutable constants (numbers, strings,
+tuples, ``np.dtype`` objects) are fine; so is the singleton
+``ExecutionContext()`` itself, whose whole point is that its attributes
+resolve per thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["NoProcessGlobalState"]
+
+#: Constructors whose module-level result is shared mutable state.
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "ChainMap",
+        "bytearray",
+        "array",
+        # synchronisation primitives are process-global state too
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "local",
+        # queues
+        "Queue",
+        "SimpleQueue",
+        "LifoQueue",
+        "PriorityQueue",
+    }
+)
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+def _callee_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_mutable_value(value: ast.AST | None) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        return _callee_name(value) in _MUTABLE_FACTORIES
+    return False
+
+
+@register_rule
+class NoProcessGlobalState(Rule):
+    """No module-level mutable containers/locks in ``nn`` or ``serving``.
+
+    Flags module-scope assignments whose value is a mutable literal or a
+    known-mutable constructor::
+
+        _CACHE = {}                      # FLAGGED: cross-thread shared dict
+        _LOCK = threading.Lock()         # FLAGGED: process-global primitive
+        _FLOAT64 = np.dtype(np.float64)  # ok: immutable constant
+        _CONTEXT = ExecutionContext()    # ok: thread-local by design
+    """
+
+    id = "no-process-global-state"
+    description = (
+        "no module-level mutable state outside ExecutionContext in "
+        "repro.nn / repro.serving"
+    )
+    hint = (
+        "move the state into the thread-local ExecutionContext, an instance "
+        "attribute, or a function-scoped structure"
+    )
+    paths = ("nn/", "serving/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or names == ["__all__"]:
+                continue
+            if _is_mutable_value(value):
+                label = ", ".join(names)
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"module-level mutable state {label!r} is shared across "
+                    "every thread in the process",
+                )

@@ -39,7 +39,7 @@ import numpy as np
 
 from .context import _CONTEXT as _CTX
 
-__all__ = ["BufferArena", "use_arena", "active_arena"]
+__all__ = ["BufferArena", "use_arena", "active_arena", "request"]
 
 
 class BufferArena:

@@ -14,7 +14,7 @@ import numpy as np
 
 from .module import Parameter
 
-__all__ = ["SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]
 
 
 class Optimizer:

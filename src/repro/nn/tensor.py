@@ -48,6 +48,9 @@ __all__ = [
     "set_default_dtype",
     "get_default_dtype",
     "dtype_scope",
+    "concatenate",
+    "stack",
+    "where",
 ]
 
 # ---------------------------------------------------------------------------
@@ -821,7 +824,7 @@ class Tensor:
 
     @staticmethod
     def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> "Tensor":
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: ignore[no-nondeterminism-in-hot-path] -- documented convenience default; reproducible paths pass a seeded Generator
         return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 
 

@@ -175,8 +175,10 @@ class FaultPlan:
             raise ValueError(f"nth is 1-based, got {rule.nth}")
         # One RNG per rule, derived from the plan seed and rule order, so
         # rate rules stay deterministic regardless of other rules' draws.
-        rule.rng = random.Random(self.seed * 1000003 + len(self._rules))
+        # Seeding happens under the lock: the rule's index IS len(_rules),
+        # and two threads adding concurrently must not derive the same one.
         with self._lock:
+            rule.rng = random.Random(self.seed * 1000003 + len(self._rules))
             self._rules.append(rule)
 
     # ------------------------------------------------------------------
@@ -220,6 +222,26 @@ class FaultPlan:
         """Ledger of applied faults: ``(site, action, call_index)`` tuples."""
         with self._lock:
             return list(self._injected)
+
+    def snapshot(self) -> dict:
+        """One consistent view of the plan's state, under a single lock hold.
+
+        Separate ``calls()``/``injected()`` reads can interleave with a
+        concurrent hook firing and disagree with each other; tests that
+        assert cross-site invariants read one snapshot instead::
+
+            snap = plan.snapshot()
+            assert len(snap["injected"]) <= sum(snap["calls"].values())
+
+        Returns defensive copies: ``{"calls": {site: count}, "injected":
+        [(site, action, call_index), ...], "fired": (per-rule counts)}``.
+        """
+        with self._lock:
+            return {
+                "calls": dict(self._calls),
+                "injected": list(self._injected),
+                "fired": tuple(rule.fired for rule in self._rules),
+            }
 
     def reset(self) -> None:
         """Zero all call counts, fire budgets and the injection ledger."""

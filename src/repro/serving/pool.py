@@ -191,10 +191,10 @@ class ModelPool:
                 self._arena_handoffs += 1
             self._loads += 1
             self._entries[key] = forecaster
-            self._evict_to_capacity()
+            self._evict_to_capacity_locked()
             return forecaster
 
-    def _evict_to_capacity(self) -> None:
+    def _evict_to_capacity_locked(self) -> None:
         # LRU = insertion order; the victim is the oldest unpinned entry.
         # When every *other* entry is pinned, the newest entry itself is
         # dropped (cache bypass): the caller still gets its forecaster,

@@ -158,7 +158,10 @@ class _PendingRequest:
                 raise DeadlineExceededError(
                     "request deadline expired before a worker completed it"
                 )
-            raise TimeoutError("prediction did not complete in time")
+            # Builtin TimeoutError is the documented contract for
+            # un-deadlined waits (tests and callers branch on it); the
+            # typed DeadlineExceededError covers the deadlined path above.
+            raise TimeoutError("prediction did not complete in time")  # repro: ignore[typed-serving-errors] -- documented builtin contract for un-deadlined wait(); deadlined path raises DeadlineExceededError
         if self.error is not None:
             raise _rewrap(self.error)
         return self.result
@@ -390,7 +393,8 @@ class ForecastService:
         # A thread that outlived the timeout (stuck in the backend) stays
         # tracked: its generation is stale so it exits on its next drain,
         # and the next stop()/start() accounts for it.
-        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._cond:
+            self._threads = [t for t in self._threads if t.is_alive()]
 
     def __enter__(self) -> "ForecastService":
         return self.start()

@@ -1,0 +1,137 @@
+"""Engine-level tests: suppressions, staleness, and report plumbing."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.devtools import Finding, Rule, run_lint
+from repro.devtools.lint.engine import lint_file
+
+
+class AlwaysFlagLineTwo(Rule):
+    """Test double: unconditionally flags line 2 of every file."""
+
+    id = "no-graph-under-nograd"  # a real, known id so suppressions resolve
+    description = "test double"
+    hint = "test hint"
+    paths = ()
+
+    def check(self, ctx):
+        yield ctx.finding(self, 2, "flagged by test double")
+
+
+def _lint_source(tmp_path, source, rules=None):
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    chosen = [AlwaysFlagLineTwo()] if rules is None else rules
+    return lint_file(target, tmp_path, chosen)
+
+
+def test_unsuppressed_finding_reported(tmp_path):
+    findings = _lint_source(tmp_path, "x = 1\ny = 2\n")
+    assert [f.rule for f in findings] == ["no-graph-under-nograd"]
+    assert not findings[0].suppressed
+    assert findings[0].line == 2
+    assert findings[0].location() == "mod.py:2"
+
+
+def test_suppression_with_reason_silences(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "x = 1\ny = 2  # repro: ignore[no-graph-under-nograd] -- test justification\n",
+    )
+    assert len(findings) == 1
+    assert findings[0].suppressed
+    assert findings[0].suppress_reason == "test justification"
+
+
+def test_suppression_without_reason_is_flagged(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "x = 1\ny = 2  # repro: ignore[no-graph-under-nograd]\n",
+    )
+    rules = {f.rule for f in findings}
+    assert "suppression-missing-reason" in rules
+    # the target finding is still silenced; only the missing reason fails
+    assert next(f for f in findings if f.rule == "no-graph-under-nograd").suppressed
+
+
+def test_stale_suppression_is_flagged(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "x = 1  # repro: ignore[no-graph-under-nograd] -- nothing here to silence\ny = 2\n",
+    )
+    assert any(f.rule == "stale-suppression" for f in findings)
+
+
+def test_unknown_rule_id_is_flagged(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "x = 1\ny = 2  # repro: ignore[no-such-rule] -- whatever\n",
+    )
+    assert any(f.rule == "unknown-rule" for f in findings)
+
+
+def test_engine_rules_cannot_be_suppressed(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "x = 1\ny = 2  # repro: ignore[stale-suppression] -- meta-silencing\n",
+    )
+    assert any(
+        f.rule == "unknown-rule" and "cannot be suppressed" in f.message
+        for f in findings
+    )
+
+
+def test_docstring_text_is_not_a_suppression(tmp_path):
+    # the pattern inside a STRING token must not register
+    findings = _lint_source(
+        tmp_path,
+        '"""Docs: use # repro: ignore[no-graph-under-nograd] -- reason"""\ny = 2\n',
+    )
+    assert [f.rule for f in findings] == ["no-graph-under-nograd"]
+    assert not findings[0].suppressed
+
+
+def test_multiple_rule_ids_in_one_suppression(tmp_path):
+    class OtherRule(AlwaysFlagLineTwo):
+        id = "no-bare-except"
+
+    findings = _lint_source(
+        tmp_path,
+        "x = 1\ny = 2  # repro: ignore[no-graph-under-nograd, no-bare-except] -- both\n",
+        rules=[AlwaysFlagLineTwo(), OtherRule()],
+    )
+    assert len(findings) == 2
+    assert all(f.suppressed for f in findings)
+
+
+def test_syntax_error_reported_as_finding(tmp_path):
+    findings = _lint_source(tmp_path, "def broken(:\n")
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_report_json_schema_and_exit_code(tmp_path):
+    pkg = tmp_path / "clean.py"
+    pkg.write_text("x = 1\n")
+    report = run_lint(root=tmp_path, rules=[])
+    payload = json.loads(report.to_json())
+    assert payload["schema"] == "repro.lint/v1"
+    assert payload["summary"]["unsuppressed"] == 0
+    assert report.exit_code() == 0
+
+    report = run_lint(root=tmp_path, rules=[AlwaysFlagLineTwo()])
+    assert report.exit_code() == 1
+    assert "FAILED" in report.render_text()
+
+
+def test_finding_to_dict_roundtrip():
+    finding = Finding(
+        rule="r", path="p.py", line=3, message="m", hint="h", suppressed=True,
+        suppress_reason="why",
+    )
+    assert finding.to_dict()["suppress_reason"] == "why"
+    assert ast.literal_eval(repr(finding.to_dict())) == finding.to_dict()

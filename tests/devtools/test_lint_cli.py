@@ -1,0 +1,83 @@
+"""`repro lint` CLI tests — the ``lint_smoke`` tier-1 gate.
+
+The headline assertion: the real tree lints clean (zero unsuppressed
+findings, every suppression reasoned).  This is the test CI leans on;
+breaking an invariant anywhere in ``src/repro`` fails it with the
+offending ``path:line [rule]`` in the report text.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import run_lint
+
+pytestmark = pytest.mark.lint_smoke
+
+
+def test_real_tree_is_clean():
+    report = run_lint()
+    assert report.exit_code() == 0, "\n" + report.render_text()
+
+
+def test_real_tree_suppressions_all_reasoned():
+    report = run_lint()
+    assert report.suppressed, "expected the known reasoned suppressions"
+    for finding in report.suppressed:
+        assert finding.suppress_reason, f"{finding.location()} has no reason"
+
+
+def test_cli_exit_zero_and_summary(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean: 0 unsuppressed" in out
+
+
+def test_cli_json_format(capsys):
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.lint/v1"
+    assert payload["summary"]["unsuppressed"] == 0
+    assert set(payload["rules"]) >= {
+        "no-graph-under-nograd",
+        "no-process-global-state",
+        "lock-discipline",
+        "no-bare-except",
+        "typed-serving-errors",
+        "no-nondeterminism-in-hot-path",
+        "all-export-consistency",
+    }
+
+
+def test_cli_show_suppressed_lists_reasons(capsys):
+    assert main(["lint", "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    assert "(suppressed)" in out
+    assert "reason:" in out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "lock-discipline:" in out
+
+
+def test_cli_exit_one_on_violation(tmp_path, capsys):
+    bad = tmp_path / "serving"
+    bad.mkdir()
+    (bad / "svc.py").write_text("def go():\n    raise RuntimeError('untyped')\n")
+    assert main(["lint", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[typed-serving-errors]" in out
+    assert "FAILED" in out
+
+
+def test_cli_json_violation_payload(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("__all__ = ['gone']\n")
+    assert main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "all-export-consistency" in rules

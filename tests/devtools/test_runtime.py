@@ -1,0 +1,176 @@
+"""Runtime lock-checker tests: inversions, long holds, instrument().
+
+The deliberate-inversion test is the acceptance gate for the runtime
+layer: two threads take the same pair of monitored locks in opposite
+orders (sequentially, so the test cannot itself deadlock) and the
+monitor must report the pair.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.devtools import (
+    LockMonitor,
+    LockOrderError,
+    MonitoredCondition,
+    MonitoredLock,
+    instrument,
+)
+
+
+def test_single_lock_no_inversion():
+    monitor = LockMonitor()
+    lock = monitor.wrap(threading.Lock(), "a")
+    with lock:
+        pass
+    assert monitor.inversions() == []
+    monitor.assert_clean()
+
+
+def test_consistent_order_is_clean():
+    monitor = LockMonitor()
+    a = monitor.wrap(threading.Lock(), "a")
+    b = monitor.wrap(threading.Lock(), "b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert monitor.inversions() == []
+    assert monitor.edges()[("a", "b")] == 3
+
+
+@pytest.mark.chaos
+def test_deliberate_inversion_is_detected():
+    # Two threads, run sequentially (join before starting the second), so
+    # the opposite acquisition orders are recorded without any risk of
+    # the test itself deadlocking.
+    monitor = LockMonitor()
+    a = monitor.wrap(threading.Lock(), "a")
+    b = monitor.wrap(threading.Lock(), "b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    t1 = threading.Thread(target=forward)
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=backward)
+    t2.start()
+    t2.join()
+
+    assert monitor.inversions() == [("a", "b")]
+    with pytest.raises(LockOrderError, match="lock-order inversion: a <-> b"):
+        monitor.assert_clean()
+
+
+def test_reentrant_rlock_is_not_an_inversion():
+    monitor = LockMonitor()
+    lock = monitor.wrap(threading.RLock(), "r")
+    with lock:
+        with lock:  # reentrant: no self-edge, no inversion
+            pass
+    assert monitor.inversions() == []
+    monitor.assert_clean()
+
+
+def test_long_hold_detection():
+    monitor = LockMonitor()
+    lock = monitor.wrap(threading.Lock(), "slow")
+    with lock:
+        time.sleep(0.05)
+    holds = monitor.long_holds(threshold=0.02)
+    assert holds and holds[0][0] == "slow"
+    with pytest.raises(LockOrderError, match="long hold: slow"):
+        monitor.assert_clean(long_hold_threshold=0.02)
+    monitor.assert_clean()  # without the threshold the run is clean
+
+
+def test_condition_wait_does_not_count_as_hold():
+    monitor = LockMonitor()
+    cond = monitor.wrap_condition(threading.Condition(), "cond")
+    ready = []
+
+    def waiter():
+        with cond:
+            cond.wait_for(lambda: ready, timeout=5.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.08)  # parked in wait() for far longer than the threshold
+    with cond:
+        ready.append(1)
+        cond.notify_all()
+    thread.join()
+    # time parked in wait() is not held time
+    assert all(seconds < 0.06 for _, seconds in monitor.long_holds(threshold=0.0))
+    monitor.assert_clean()
+
+
+def test_monitored_lock_nonblocking_probe():
+    monitor = LockMonitor()
+    lock = monitor.wrap(threading.Lock(), "probe")
+    assert lock.acquire(blocking=False)
+    assert lock.locked()
+    # a second non-blocking attempt fails and must not record anything
+    assert not lock.acquire(blocking=False)
+    lock.release()
+    assert monitor.edges() == {}
+
+
+def test_reset_clears_history():
+    monitor = LockMonitor()
+    a = monitor.wrap(threading.Lock(), "a")
+    b = monitor.wrap(threading.Lock(), "b")
+    with a:
+        with b:
+            pass
+    monitor.reset()
+    assert monitor.edges() == {}
+    assert monitor.long_holds(threshold=0.0) == []
+
+
+def test_instrument_wraps_lock_attributes():
+    class Widget:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._cond = threading.Condition()
+            self.plain = 7
+
+    monitor = LockMonitor()
+    widget = Widget()
+    wrapped = instrument(widget, monitor)
+    assert sorted(wrapped) == ["Widget._cond", "Widget._lock"]
+    assert isinstance(widget._lock, MonitoredLock)
+    assert isinstance(widget._cond, MonitoredCondition)
+    assert widget.plain == 7
+    with widget._lock:
+        pass
+    assert widget._lock.name == "Widget._lock"
+    # idempotent: a second pass wraps nothing
+    assert instrument(widget, monitor) == []
+
+
+@pytest.mark.chaos
+def test_instrumented_service_components_record_locks():
+    # The serving conftest fixture wires the monitor through component
+    # __init__; this test checks the end-to-end path directly.
+    from repro.serving import CircuitBreaker
+
+    monitor = LockMonitor()
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.01)
+    wrapped = instrument(breaker, monitor)
+    assert wrapped == ["CircuitBreaker._lock"]
+    breaker.record_success()
+    assert any(name == "CircuitBreaker._lock" for name, _ in monitor.long_holds(0.0))
+    monitor.assert_clean()

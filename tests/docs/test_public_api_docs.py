@@ -1,6 +1,7 @@
 """Documentation contract for the public surface.
 
-Walks ``__all__`` of :mod:`repro.api` and :mod:`repro.serving` and fails
+Walks ``__all__`` of :mod:`repro.api`, :mod:`repro.serving` and
+:mod:`repro.devtools` and fails
 on missing or empty docstrings, so the documented surface cannot rot as
 the packages grow.  Exported classes must additionally carry a usage
 example (a ``::`` literal block or a doctest prompt), and their public
@@ -12,9 +13,10 @@ import inspect
 import pytest
 
 import repro.api
+import repro.devtools
 import repro.serving
 
-MODULES = (repro.api, repro.serving)
+MODULES = (repro.api, repro.serving, repro.devtools)
 MIN_DOCSTRING = 40  # characters: a real sentence, not a placeholder
 
 

@@ -29,9 +29,11 @@ def quickstart():
 def test_readme_has_required_sections():
     text = README.read_text()
     for heading in ("## Install", "## 60-second quickstart",
-                    "## Performance trajectory", "## Repo map"):
+                    "## Performance trajectory", "## Static analysis",
+                    "## Repo map"):
         assert heading in text, f"README lost its {heading!r} section"
     assert "docs/architecture.md" in text and "docs/serving.md" in text
+    assert "docs/devtools.md" in text, "README lost the devtools docs link"
 
 
 def test_quickstart_mentions_the_advertised_flow(quickstart):

@@ -1,0 +1,61 @@
+"""Serving-suite fixtures: runtime lock monitoring for chaos tests.
+
+Every chaos-marked test in this directory runs with the serving
+components' locks wrapped by a :class:`repro.devtools.LockMonitor`
+(see ``repro/devtools/runtime.py``): each ``Lock``/``RLock``/
+``Condition`` attribute is replaced with a monitored wrapper at
+construction time, and the fixture asserts at teardown that the
+workload recorded no lock-order inversion.  The chaos suite thereby
+checks deadlock *preconditions* on every run, not just the deadlocks
+that happen to fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import LockMonitor, instrument
+from repro.serving import CircuitBreaker, ForecastService, ModelPool, RetryPolicy, ShardRouter
+from repro.serving.faultinject import FaultPlan
+
+_MONITORED_CLASSES = (
+    ForecastService,
+    ModelPool,
+    ShardRouter,
+    FaultPlan,
+    RetryPolicy,
+    CircuitBreaker,
+)
+
+
+@pytest.fixture(autouse=True)
+def lock_monitor(request):
+    """Instrument serving-component locks during chaos tests.
+
+    Non-chaos tests get the fixture as a no-op (``None``); chaos tests
+    receive the active :class:`LockMonitor`, and the fixture fails the
+    test at teardown if the run recorded a lock-order inversion.
+    """
+    if request.node.get_closest_marker("chaos") is None:
+        yield None
+        return
+
+    monitor = LockMonitor()
+    originals = {cls: cls.__init__ for cls in _MONITORED_CLASSES}
+
+    def wrap(cls, original):
+        def patched(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            instrument(self, monitor)
+
+        patched.__name__ = original.__name__
+        return patched
+
+    try:
+        for cls, original in originals.items():
+            cls.__init__ = wrap(cls, original)
+        yield monitor
+    finally:
+        for cls, original in originals.items():
+            cls.__init__ = original
+    monitor.assert_clean()

@@ -21,7 +21,7 @@ class TestParser:
     def test_generate_args(self):
         args = build_parser().parse_args(["generate", "--city", "chicago", "--out", "x.csv"])
         assert args.city == "chicago"
-        assert args.func.__name__ == "cmd_generate"
+        assert args.func.__name__ == "_cmd_generate"
 
     def test_invalid_city_rejected(self):
         with pytest.raises(SystemExit):
