@@ -17,3 +17,9 @@ def pytest_configure(config):
         "lint_smoke: repo-invariant linter gate (runs `repro lint` over the "
         "real tree and the seeded-violation fixtures; select with -m lint_smoke)",
     )
+    config.addinivalue_line(
+        "markers",
+        "kernel_equiv: conv kernel-dispatch contracts (cross-strategy "
+        "equivalence, per-strategy gradcheck, workspace footprints; runs as "
+        "its own CI step — select with -m kernel_equiv)",
+    )

@@ -26,10 +26,13 @@ from the file alone — no CLI flags to match:
 schema they do not understand instead of mis-reconstructing a model.
 Two fields are new in v2 (both may be ``null``):
 
-* ``served_dtype`` — the compute dtype the artifact asks to be *served*
-  at (``"float32"`` is the serving mode: the weights stay in their
-  trained dtype on disk, the loader rebuilds the model in the requested
-  compute dtype).  ``null`` means "serve at the model's native dtype".
+* ``served_dtype`` — the dtype the artifact asks to be *served* at
+  (``"float32"`` is the serving mode: the weights stay in their trained
+  dtype on disk, the loader rebuilds the model in the requested compute
+  dtype; ``"float16"`` additionally rounds the weights through IEEE
+  half — storage quantization, float32 compute, see
+  :mod:`repro.nn.quantize`).  ``null`` means "serve at the model's
+  native dtype".
 * ``shard`` — region-shard metadata when the artifact covers one row
   band of a larger parent grid (see :class:`repro.serving.ShardRouter`).
   ``null`` for whole-grid artifacts.
@@ -68,7 +71,11 @@ ARTIFACT_SCHEMA = "repro.artifact/v2"
 
 _REQUIRED_KEYS = ("schema", "model", "build", "geometry", "normalization", "categories")
 _V2_KEYS = ("served_dtype", "shard")
-_SERVED_DTYPES = ("float32", "float64")
+# "float16" is storage quantization: loaders round the weights through
+# IEEE half and compute in float32 (numpy has no fast half kernels — see
+# repro.nn.quantize); "float32"/"float64" rebuild the model in that
+# compute dtype.
+_SERVED_DTYPES = ("float16", "float32", "float64")
 _SHARD_KEYS = ("index", "count", "row_start", "row_stop", "parent")
 
 

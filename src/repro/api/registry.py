@@ -297,7 +297,7 @@ def _build_gwn(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, 
     return GraphWaveNet(geometry.adjacency(), geometry.num_categories, hidden=hidden, seed=seed, **overrides)
 
 
-@REGISTRY.register("STtrans", description="spatial-temporal transformer for sparse crime")
+@REGISTRY.register("STtrans", supports_batching=True, description="spatial-temporal transformer for sparse crime")
 def _build_sttrans(geometry: ModelGeometry, *, window: int, hidden: int, seed: int, **overrides):
     return STtrans(geometry.num_regions, geometry.num_categories, window, dim=hidden, seed=seed, **overrides)
 

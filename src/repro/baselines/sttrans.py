@@ -4,6 +4,14 @@ Hierarchically structured Transformer for sparse spatial event
 forecasting: stacked layers of self-attention applied along the spatial
 axis (regions attend to regions) and the temporal axis (days attend to
 days), with layer normalisation and feed-forward sublayers.
+
+Batched-native: ``forward_batch`` folds a stacked ``(B, R, W, C)`` batch
+into the attention batch axis — temporal layers see ``(B*R, W, dim)``
+sequences, spatial layers ``(B*W, R, dim)`` — so one vectorized pass
+replaces B per-sample forwards, and the per-sample ``forward`` is a
+``B=1`` wrapper.  Same duck type
+(``training_loss_batch``/``predict_batch``) as ST-HSL, STGCN and
+DeepCrime, putting STtrans on the trainer's vectorized path.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import Tensor
+from ..nn import functional as F
 from ..training.interface import ForecastModel
 
 __all__ = ["STtrans"]
@@ -55,14 +64,46 @@ class STtrans(ForecastModel):
         self.head = nn.Linear(dim, num_categories, rng)
 
     def forward(self, window: np.ndarray) -> Tensor:
-        r, w, _ = window.shape
-        h = self.input_proj(Tensor(window))  # (R, W, dim)
-        h = h + self.time_pos.expand_dims(0) + self.region_pos.expand_dims(1)
-        # Layer stack 1: temporal attention (batch R over days), then
-        # spatial attention (batch days over regions).
-        h = self.temporal_layer(h)
-        h = self.spatial_layer(h.transpose(1, 0, 2)).transpose(1, 0, 2)
+        """``(R, W, C)`` history -> ``(R, C)`` prediction (B=1 wrapper)."""
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
+        return self.forward_batch(window[None]).squeeze(0)
+
+    def forward_batch(self, windows: np.ndarray) -> Tensor:
+        """``(B, R, W, C)`` stacked histories -> ``(B, R, C)`` predictions.
+
+        Attention layers take ``(N, T, dim)`` inputs, so the batch folds
+        into the attention batch axis: temporal layers run on ``(B*R, W,
+        dim)``, spatial layers on ``(B*W, R, dim)``.  Each sample's rows
+        never mix (attention is independent along N), so the batched pass
+        computes exactly B per-sample forwards.
+        """
+        windows = np.asarray(windows)
+        if windows.ndim != 4:
+            raise ValueError(f"expected a (B, R, W, C) batch, got shape {windows.shape}")
+        b, r, w, _ = windows.shape
+        h = self.input_proj(Tensor(windows))  # (B, R, W, dim)
+        h = (
+            h
+            + self.time_pos.reshape(1, 1, w, self.dim)
+            + self.region_pos.reshape(1, r, 1, self.dim)
+        )
+        # Layer stack 1: temporal attention (fold B*R over days), then
+        # spatial attention (fold B*W over regions).
+        h = self.temporal_layer(h.reshape(b * r, w, self.dim))
+        h = h.reshape(b, r, w, self.dim).transpose(0, 2, 1, 3)
+        h = self.spatial_layer(h.reshape(b * w, r, self.dim))
+        h = h.reshape(b, w, r, self.dim).transpose(0, 2, 1, 3)
         # Layer stack 2.
-        h = self.temporal_layer2(h)
-        h = self.spatial_layer2(h.transpose(1, 0, 2)).transpose(1, 0, 2)
-        return self.head(h.mean(axis=1))
+        h = self.temporal_layer2(h.reshape(b * r, w, self.dim))
+        h = h.reshape(b, r, w, self.dim).transpose(0, 2, 1, 3)
+        h = self.spatial_layer2(h.reshape(b * w, r, self.dim))
+        h = h.reshape(b, w, r, self.dim).transpose(0, 2, 1, 3)  # (B, R, W, dim)
+        return self.head(h.mean(axis=2))
+
+    def training_loss_batch(self, windows: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean MSE over a stacked batch; its gradient equals the average
+        of per-sample ``training_loss`` gradients, so batched and
+        sequential trainer paths take identical optimizer steps."""
+        return F.mse_loss(self.forward_batch(windows), targets, reduction="mean")

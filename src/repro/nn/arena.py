@@ -131,6 +131,36 @@ class BufferArena:
         total = sum(buffer.nbytes for buffer in self._in_use)
         return total + sum(b.nbytes for pool in self._free.values() for b in pool)
 
+    def stats(self) -> dict:
+        """A snapshot of the arena's holdings and traffic.
+
+        Returns ``{"buffers", "nbytes", "hits", "misses",
+        "bytes_by_dtype"}`` where ``bytes_by_dtype`` maps dtype name to
+        the bytes held in that dtype (in-use + free).  This is what the
+        kernel tests use to compare peak workspace footprints across
+        conv strategies (tap-gemm must hold strictly fewer bytes than
+        im2col)::
+
+            with no_grad(), use_arena(arena):
+                model.predict(window)
+            print(arena.stats()["bytes_by_dtype"])
+        """
+        by_dtype: dict[str, int] = {}
+        for buffer in self._in_use:
+            name = buffer.dtype.name
+            by_dtype[name] = by_dtype.get(name, 0) + buffer.nbytes
+        for pool in self._free.values():
+            for buffer in pool:
+                name = buffer.dtype.name
+                by_dtype[name] = by_dtype.get(name, 0) + buffer.nbytes
+        return {
+            "buffers": self.num_buffers,
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_by_dtype": by_dtype,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"BufferArena(buffers={self.num_buffers}, bytes={self.nbytes}, "

@@ -1,16 +1,22 @@
 """Functional building blocks: activations, losses, similarity measures.
 
 These are composites of the primitive ops in :mod:`repro.nn.tensor`, so
-their gradients come for free from the autograd engine.
+their gradients come for free from the autograd engine.  The convolution
+primitives are re-exported from :mod:`repro.nn.ops` for
+``torch.nn.functional`` call-site parity (``F.conv2d(...)``); they
+dispatch through the kernel strategies in :mod:`repro.nn.kernels`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .ops import conv1d, conv2d
 from .tensor import Tensor
 
 __all__ = [
+    "conv1d",
+    "conv2d",
     "softmax",
     "log_softmax",
     "normalize",

@@ -1,16 +1,23 @@
 """Convolution primitives for the autograd engine.
 
-Implements 1-D and 2-D cross-correlation (the deep-learning "convolution")
-via im2col/col2im.  ST-HSL uses 2-D convolutions over the region grid
-(Eq 2 of the paper) and 1-D convolutions over the time axis (Eqs 3 and 5);
-several baselines (ST-ResNet, STGCN, GWN, STDN, DMSTGCN) also build on
-these primitives.
+Implements 1-D and 2-D cross-correlation (the deep-learning "convolution").
+ST-HSL uses 2-D convolutions over the region grid (Eq 2 of the paper) and
+1-D convolutions over the time axis (Eqs 3 and 5); several baselines
+(ST-ResNet, STGCN, GWN, STDN, DMSTGCN) also build on these primitives.
 
-Grad mode and the workspace-supplying arena are read through the
+The forward pass dispatches through :mod:`repro.nn.kernels` — three
+interchangeable execution strategies (``im2col``, ``tap_gemm``,
+``single_gemm``) selected per call by the thread-local
+:class:`~repro.nn.kernels.conv_strategy` setting and its auto-selection
+rule table.  This module owns everything around the kernel: autograd
+graph construction, the per-strategy backward closures, the col2im
+scatter (:func:`_scatter_cols`), and the 1-in/1-out-channel FIR fast
+path.  Grad mode and the workspace-supplying arena are read through the
 thread-local :class:`~repro.nn.context.ExecutionContext` (via
 :func:`~repro.nn.tensor.is_grad_enabled` and
 :func:`~repro.nn.arena.request`), so convolutions on concurrent threads
-never observe each other's ``no_grad``/``use_arena`` scopes.
+never observe each other's ``no_grad``/``use_arena``/``conv_strategy``
+scopes.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from functools import lru_cache
 import numpy as np
 
 from .arena import request as _arena_request
+from .kernels import conv1d_forward, conv2d_forward, resolve_conv_strategy
 from .tensor import Tensor, _padded, is_grad_enabled
 
 __all__ = ["conv2d", "conv1d"]
@@ -159,15 +167,6 @@ def _scatter_cols(gcols: np.ndarray, geometry, spatial_size: int) -> np.ndarray:
     return _scatter_cols_native(gcols, geometry, spatial_size)
 
 
-def _workspace(shape: tuple[int, ...], dtype, reuse: bool) -> np.ndarray:
-    """A conv workspace buffer: arena-pooled on the inference fast path."""
-    if reuse:
-        buffer = _arena_request(shape, dtype)
-        if buffer is not None:
-            return buffer
-    return np.empty(shape, dtype=dtype)
-
-
 def _add_bias(out_data: np.ndarray, bias_view: np.ndarray) -> np.ndarray:
     """Add a broadcast bias to a conv output.
 
@@ -179,38 +178,6 @@ def _add_bias(out_data: np.ndarray, bias_view: np.ndarray) -> np.ndarray:
         out_data += bias_view
         return out_data
     return out_data + bias_view
-
-
-def _fill_cols2d(
-    x: np.ndarray, kh: int, kw: int, stride: tuple[int, int], out_h: int, out_w: int,
-    reuse: bool = False,
-) -> np.ndarray:
-    """im2col by per-tap strided copies: ``(N, C, H, W) -> (N, C*KH*KW, L)``.
-
-    Filling one kernel-tap slab at a time keeps every copy a large strided
-    block, which is ~10x faster than the equivalent single fancy-index
-    gather on batched inputs (fancy indexing pays per-element overhead).
-    """
-    n, c, _, _ = x.shape
-    sh, sw = stride
-    cols = _workspace((n, c, kh * kw, out_h * out_w), x.dtype, reuse)
-    view = cols.reshape(n, c, kh * kw, out_h, out_w)
-    for tap in range(kh * kw):
-        i, j = divmod(tap, kw)
-        view[:, :, tap] = x[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
-    return cols.reshape(n, c * kh * kw, out_h * out_w)
-
-
-def _fill_cols1d(
-    x: np.ndarray, k: int, stride: int, dilation: int, out_l: int, reuse: bool = False
-) -> np.ndarray:
-    """1-D im2col by per-tap strided copies: ``(N, C, L) -> (N, C*K, out_l)``."""
-    n, c, _ = x.shape
-    cols = _workspace((n, c, k, out_l), x.dtype, reuse)
-    for tap in range(k):
-        start = tap * dilation
-        cols[:, :, tap] = x[:, :, start : start + stride * out_l : stride]
-    return cols.reshape(n, c * k, out_l)
 
 
 def conv2d(
@@ -245,24 +212,17 @@ def conv2d(
         raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
 
     inference = not is_grad_enabled()
-    x_data = x.data
-    if ph or pw:
-        # Arena-pooled on the inference fast path (shared _padded helper
-        # keeps the layout-parity gate in one place).
-        pad_width = ((0, 0), (0, 0), (ph, ph), (pw, pw))
-        x_data = _padded(x_data, pad_width) if inference else np.pad(x_data, pad_width)
-    hp, wp = x_data.shape[2:]
+    hp, wp = h + 2 * ph, w + 2 * pw
     _, _, out_h, out_w = _im2col_indices(hp, wp, kh, kw, stride)
-
-    # (N, C_in*kh*kw, L); the workspace is arena-pooled on the no-grad path
-    # (during training it must survive until backward, so it stays fresh).
-    cols_mat = _fill_cols2d(x_data, kh, kw, stride, out_h, out_w, reuse=inference)
-    w_mat = weight.data.reshape(c_out, c_in * kh * kw)
-    # (C_out, K) @ (N, K, L) broadcast matmul: hits BLAS, unlike np.einsum.
-    gemm_out = None
-    if inference and w_mat.dtype == cols_mat.dtype:
-        gemm_out = _arena_request((n, c_out, out_h * out_w), w_mat.dtype)
-    out_data = np.matmul(w_mat, cols_mat, out=gemm_out)
+    strategy = resolve_conv_strategy(
+        "conv2d", x.data.dtype, n * out_h * out_w, grad_enabled=not inference
+    )
+    # The kernel owns padding + workspace layout; workspaces are
+    # arena-pooled on the no-grad path only (during training the saved
+    # patch matrix must survive until backward, so it stays fresh).
+    out_data, saved = conv2d_forward(
+        x.data, weight.data, stride, (ph, pw), out_h, out_w, strategy, reuse=inference
+    )
     if bias is not None:
         out_data = _add_bias(out_data, bias.data.reshape(1, c_out, 1))
     out_data = out_data.reshape(n, c_out, out_h, out_w)
@@ -270,25 +230,95 @@ def conv2d(
         return Tensor._from_array(out_data)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    w_mat = weight.data.reshape(c_out, c_in * kh * kw)
+    geometry = ("2d", hp, wp, kh, kw, stride)
+
+    def scatter_gx(gcols: np.ndarray) -> None:
+        gx_pad = _scatter_cols(gcols, geometry, hp * wp).reshape(n, c_in, hp, wp)
+        # The un-padded slice is a view of the fresh gx_pad buffer, which
+        # no other node references, so it is safe to adopt without copy.
+        gx = gx_pad[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_pad
+        Tensor._accum(x, gx, own=True)
 
     def backward(out: Tensor) -> None:
         grad = out.grad.reshape(n, c_out, out_h * out_w)
         if bias is not None and bias.requires_grad:
             Tensor._accum(bias, grad.sum(axis=(0, 2)), own=True)
+        if saved.strategy == "tap_gemm":
+            _conv2d_tap_backward(
+                x, weight, saved.x_pad, grad, stride, (ph, pw), (out_h, out_w)
+            )
+            return
+        if saved.strategy == "single_gemm":
+            # cols live in the gemm's (C_in*K, N*L) layout; fold the
+            # gradient the same way and both grads are single gemms.
+            grad2 = np.ascontiguousarray(grad.transpose(1, 0, 2)).reshape(
+                c_out, n * out_h * out_w
+            )
+            cols2 = saved.cols.reshape(c_in * kh * kw, n * out_h * out_w)
+            if weight.requires_grad:
+                gw = np.matmul(grad2, cols2.T)
+                Tensor._accum(weight, gw.reshape(weight.data.shape), own=True)
+            if x.requires_grad:
+                gcols2 = np.matmul(w_mat.T, grad2)
+                gcols2 = gcols2.reshape(c_in, kh * kw, n, out_h * out_w)
+                gcols = np.ascontiguousarray(gcols2.transpose(2, 0, 1, 3))
+                scatter_gx(gcols.reshape(n, c_in, kh * kw * out_h * out_w))
+            return
+        cols_mat = saved.cols
         if weight.requires_grad:
             gw = np.matmul(grad, cols_mat.swapaxes(-1, -2)).sum(axis=0)
             Tensor._accum(weight, gw.reshape(weight.data.shape), own=True)
         if x.requires_grad:
             gcols = np.matmul(w_mat.T, grad)
-            gcols = gcols.reshape(n, c_in, kh * kw * out_h * out_w)
-            geometry = ("2d", hp, wp, kh, kw, stride)
-            gx_pad = _scatter_cols(gcols, geometry, hp * wp).reshape(n, c_in, hp, wp)
-            # The un-padded slice is a view of the fresh gx_pad buffer, which
-            # no other node references, so it is safe to adopt without copy.
-            gx = gx_pad[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_pad
-            Tensor._accum(x, gx, own=True)
+            scatter_gx(gcols.reshape(n, c_in, kh * kw * out_h * out_w))
 
     return Tensor._make(out_data, parents, backward)
+
+
+def _conv2d_tap_backward(
+    x: Tensor,
+    weight: Tensor,
+    x_pad: np.ndarray,
+    grad: np.ndarray,
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    out_hw: tuple[int, int],
+) -> None:
+    """col2im-free backward for the tap-gemm strategy.
+
+    Mirrors the forward: one gemm per kernel tap against a shifted view,
+    so neither gradient ever materializes a patch workspace — the weight
+    gradient re-reads each tap slab from the saved padded input, the
+    input gradient scatters per-tap products onto strided views of the
+    padded canvas.  ``grad`` arrives flattened ``(N, C_out, L)``.
+    """
+    n = grad.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = out_hw
+    length = out_h * out_w
+    if weight.requires_grad:
+        gw = np.empty_like(weight.data)
+        for tap in range(kh * kw):
+            i, j = divmod(tap, kw)
+            slab = np.ascontiguousarray(
+                x_pad[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+            ).reshape(n, c_in, length)
+            gw[:, :, i, j] = np.matmul(grad, slab.swapaxes(1, 2)).sum(axis=0)
+        Tensor._accum(weight, gw, own=True)
+    if x.requires_grad:
+        gx_pad = np.zeros_like(x_pad)
+        for tap in range(kh * kw):
+            i, j = divmod(tap, kw)
+            view = gx_pad[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+            view += np.matmul(weight.data[:, :, i, j].T, grad).reshape(
+                n, c_in, out_h, out_w
+            )
+        h, w = x.shape[2:]
+        gx = gx_pad[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_pad
+        Tensor._accum(x, gx, own=True)
 
 
 def _conv1d_fir(
@@ -374,11 +404,7 @@ def conv1d(
         raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
 
     inference = not is_grad_enabled()
-    x_data = x.data
-    if padding:
-        pad_width = ((0, 0), (0, 0), (padding, padding))
-        x_data = _padded(x_data, pad_width) if inference else np.pad(x_data, pad_width)
-    lp = x_data.shape[2]
+    lp = length + 2 * padding
     span = (k - 1) * dilation + 1
     if lp < span:
         raise ValueError(f"conv1d output length <= 0 (L={length}, k={k}, dilation={dilation})")
@@ -388,33 +414,90 @@ def conv1d(
         # FIR fast path for single-channel kernels (ST-HSL's Eq-5 shared
         # depthwise temporal conv runs here with huge N): k scaled strided
         # adds replace im2col + matmul entirely.
+        x_data = x.data
+        if padding:
+            pad_width = ((0, 0), (0, 0), (padding, padding))
+            x_data = _padded(x_data, pad_width) if inference else np.pad(x_data, pad_width)
         return _conv1d_fir(x, weight, bias, x_data, stride, dilation, out_l, padding, length)
 
-    cols_mat = _fill_cols1d(x_data, k, stride, dilation, out_l, reuse=inference)  # (N, C_in*k, out_l)
-    w_mat = weight.data.reshape(c_out, c_in * k)
-    gemm_out = None
-    if inference and w_mat.dtype == cols_mat.dtype:
-        gemm_out = _arena_request((n, c_out, out_l), w_mat.dtype)
-    # (C_out, K) @ (N, K, L) broadcast matmul: hits BLAS, unlike np.einsum.
-    out_data = np.matmul(w_mat, cols_mat, out=gemm_out)
+    strategy = resolve_conv_strategy(
+        "conv1d", x.data.dtype, n * out_l, grad_enabled=not inference
+    )
+    out_data, saved = conv1d_forward(
+        x.data, weight.data, stride, padding, dilation, out_l, strategy, reuse=inference
+    )
     if bias is not None:
         out_data = _add_bias(out_data, bias.data.reshape(1, c_out, 1))
     if inference:
         return Tensor._from_array(out_data)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    w_mat = weight.data.reshape(c_out, c_in * k)
+    geometry = ("1d", lp, k, stride, dilation)
+
+    def scatter_gx(gcols: np.ndarray) -> None:
+        gx_pad = _scatter_cols(gcols, geometry, lp)
+        gx = gx_pad[:, :, padding : padding + length] if padding else gx_pad
+        Tensor._accum(x, gx, own=True)
 
     def backward(out: Tensor) -> None:
         grad = out.grad
         if bias is not None and bias.requires_grad:
             Tensor._accum(bias, grad.sum(axis=(0, 2)), own=True)
+        if saved.strategy == "tap_gemm":
+            _conv1d_tap_backward(
+                x, weight, saved.x_pad, grad, stride, dilation, padding, out_l, length
+            )
+            return
+        if saved.strategy == "single_gemm":
+            grad2 = np.ascontiguousarray(grad.transpose(1, 0, 2)).reshape(c_out, n * out_l)
+            cols2 = saved.cols.reshape(c_in * k, n * out_l)
+            if weight.requires_grad:
+                gw = np.matmul(grad2, cols2.T)
+                Tensor._accum(weight, gw.reshape(weight.data.shape), own=True)
+            if x.requires_grad:
+                gcols2 = np.matmul(w_mat.T, grad2).reshape(c_in, k, n, out_l)
+                gcols = np.ascontiguousarray(gcols2.transpose(2, 0, 1, 3))
+                scatter_gx(gcols.reshape(n, c_in, k * out_l))
+            return
+        cols_mat = saved.cols
         if weight.requires_grad:
             gw = np.matmul(grad, cols_mat.swapaxes(-1, -2)).sum(axis=0)
             Tensor._accum(weight, gw.reshape(weight.data.shape), own=True)
         if x.requires_grad:
             gcols = np.matmul(w_mat.T, grad).reshape(n, c_in, k * out_l)
-            gx_pad = _scatter_cols(gcols, ("1d", lp, k, stride, dilation), lp)
-            gx = gx_pad[:, :, padding : padding + length] if padding else gx_pad
-            Tensor._accum(x, gx, own=True)
+            scatter_gx(gcols)
 
     return Tensor._make(out_data, parents, backward)
+
+
+def _conv1d_tap_backward(
+    x: Tensor,
+    weight: Tensor,
+    x_pad: np.ndarray,
+    grad: np.ndarray,
+    stride: int,
+    dilation: int,
+    padding: int,
+    out_l: int,
+    length: int,
+) -> None:
+    """col2im-free backward for the 1-D tap-gemm strategy (see 2-D twin)."""
+    n = grad.shape[0]
+    c_out, c_in, k = weight.shape
+    if weight.requires_grad:
+        gw = np.empty_like(weight.data)
+        for tap in range(k):
+            start = tap * dilation
+            slab = np.ascontiguousarray(x_pad[:, :, start : start + stride * out_l : stride])
+            gw[:, :, tap] = np.matmul(grad, slab.swapaxes(1, 2)).sum(axis=0)
+        Tensor._accum(weight, gw, own=True)
+    if x.requires_grad:
+        gx_pad = np.zeros_like(x_pad)
+        for tap in range(k):
+            start = tap * dilation
+            gx_pad[:, :, start : start + stride * out_l : stride] += np.matmul(
+                weight.data[:, :, tap].T, grad
+            )
+        gx = gx_pad[:, :, padding : padding + length] if padding else gx_pad
+        Tensor._accum(x, gx, own=True)

@@ -1,0 +1,82 @@
+"""Weight quantization for sub-float32 serving.
+
+Serving below float32 on this substrate is *storage* quantization, not
+compute quantization: numpy (2.x, this container) has no SIMD half or
+int8 arithmetic kernels — float16 ufuncs run 8–20x slower than float32
+and there is no BLAS half gemm — so actually computing in float16 would
+make predictions slower *and* less accurate.  Instead the loader rounds
+every weight through the narrow format and hands the dequantized values
+to a float32-compute model:
+
+* ``float16`` — each value is cast to IEEE half (11-bit significand)
+  and back, exactly the values a genuine f16 model would hold;
+* ``int8`` — per-tensor symmetric affine quantization: 256 levels over
+  ``[-max|w|, +max|w|]``, the standard post-training weight-quantization
+  scheme (scale = ``max|w| / 127``, zero-point 0).
+
+Both reproduce the accuracy of serving from a narrow-format checkpoint
+(what the ``served_dtype="float16"`` artifact contract promises) while
+keeping the fast float32 execution path; the perf harness's ``kernels``
+section gates the resulting MAE delta.  Used by
+:meth:`repro.api.Forecaster.load` and, transitively, every
+:class:`~repro.serving.ModelPool` worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QUANTIZE_MODES", "quantize_state", "round_trip_float16", "round_trip_int8"]
+
+#: Supported weight-quantization modes, in decreasing precision order.
+QUANTIZE_MODES = ("float16", "int8")
+
+
+def round_trip_float16(array: np.ndarray) -> np.ndarray:
+    """Round ``array`` through IEEE float16, back in its original dtype.
+
+    Values outside float16 range saturate to ±65504 (numpy's cast maps
+    them to ±inf; they are clipped first so a single outlier weight does
+    not poison the model with infinities)::
+
+        w16 = round_trip_float16(weights)   # same dtype, 11-bit mantissa
+    """
+    finfo = np.finfo(np.float16)
+    clipped = np.clip(array, finfo.min, finfo.max)
+    return clipped.astype(np.float16).astype(array.dtype)
+
+
+def round_trip_int8(array: np.ndarray) -> np.ndarray:
+    """Per-tensor symmetric int8 round trip, back in the original dtype.
+
+    ``scale = max|w| / 127`` (zero-point 0, so zero weights stay exactly
+    zero); all-zero tensors pass through unchanged.  8 bits per weight is
+    the aggressive end of post-training quantization — callers gate the
+    accuracy delta (see ``measure_kernels``)::
+
+        w8 = round_trip_int8(weights)       # at most 256 distinct values
+    """
+    scale = float(np.max(np.abs(array))) / 127.0
+    if scale == 0.0:
+        return array.copy()
+    q = np.clip(np.rint(array / scale), -127, 127).astype(np.int8)
+    return (q.astype(array.dtype)) * array.dtype.type(scale)
+
+
+def quantize_state(state: dict[str, np.ndarray], mode: str) -> dict[str, np.ndarray]:
+    """Round every float array in a state dict through ``mode``.
+
+    Non-float entries (index buffers, masks) pass through untouched.
+    Returns a new dict — the input state is never mutated::
+
+        state16 = quantize_state(model.state_dict(), "float16")
+        model.load_state_dict(state16)      # float32 model, f16 weights
+    """
+    if mode not in QUANTIZE_MODES:
+        raise ValueError(f"unknown quantize mode {mode!r}; expected one of {QUANTIZE_MODES}")
+    round_trip = round_trip_float16 if mode == "float16" else round_trip_int8
+    out = {}
+    for name, array in state.items():
+        array = np.asarray(array)
+        out[name] = round_trip(array) if np.issubdtype(array.dtype, np.floating) else array
+    return out

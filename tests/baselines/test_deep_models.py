@@ -132,7 +132,7 @@ class TestSignatureMechanisms:
         assert np.allclose(weights.data.sum(axis=1), 1.0)
 
 
-BATCHED_BASELINES = ["STGCN", "DeepCrime", "GWN", "DCRNN"]
+BATCHED_BASELINES = ["STGCN", "DeepCrime", "GWN", "DCRNN", "STtrans"]
 
 
 @pytest.mark.parametrize("name", BATCHED_BASELINES)

@@ -234,6 +234,25 @@ def test_no_nondeterminism_wall_clock(tmp_path):
     assert ("no-nondeterminism-in-hot-path", "serving/clock.py") in _rules_hit(tmp_path)
 
 
+def test_no_nondeterminism_covers_kernel_modules(tmp_path):
+    """The conv kernel-dispatch layer and the quantizer are hot-path nn/
+    modules: an unseeded RNG planted in either must be caught exactly
+    like the established nn/ and serving/ seeds above."""
+    _plant(
+        tmp_path,
+        "nn/kernels.py",
+        "import numpy as np\n\n\ndef pick_strategy():\n    return np.random.default_rng().integers(3)\n",
+    )
+    _plant(
+        tmp_path,
+        "nn/quantize.py",
+        "import random\n\n\ndef dither():\n    return random.random()\n",
+    )
+    hits = _rules_hit(tmp_path)
+    assert ("no-nondeterminism-in-hot-path", "nn/kernels.py") in hits
+    assert ("no-nondeterminism-in-hot-path", "nn/quantize.py") in hits
+
+
 def test_all_export_stale_entry(tmp_path):
     _plant(tmp_path, "mod.py", "__all__ = ['gone']\n")
     assert ("all-export-consistency", "mod.py") in _rules_hit(tmp_path)

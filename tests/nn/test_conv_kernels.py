@@ -1,0 +1,259 @@
+"""Conv kernel-dispatch contracts (``kernel_equiv`` suite).
+
+Locks the guarantees the three conv execution strategies make to the
+rest of the repo (see :mod:`repro.nn.kernels`):
+
+* every strategy computes the same convolution — forward outputs agree
+  to dtype tolerance (they are *not* bitwise: gemm summation order
+  differs by design), and every registered model predicts the same
+  under any pinned strategy;
+* the backward pass is correct for every strategy — gradcheck over
+  strategy x dtype x op, because training may run under an explicitly
+  pinned kernel;
+* dispatch obeys the heuristic table — grad-recording auto resolves to
+  im2col, the default rules pick the measured winners, explicit pins
+  beat everything, and the ``conv_strategy`` scope restores state;
+* tap-gemm holds the memory contract it exists for: strictly fewer
+  arena workspace bytes than im2col on the same call.
+
+Runs as its own CI step (the tier-1 run excludes the marker).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.api import REGISTRY, ModelGeometry
+from repro.baselines import BASELINE_NAMES
+from repro.nn import Tensor
+from repro.nn.gradcheck import gradcheck
+from repro.nn.kernels import (
+    CONV_STRATEGIES,
+    DEFAULT_AUTO_RULES,
+    resolve_conv_strategy,
+)
+from repro.nn.ops import conv1d, conv2d
+
+pytestmark = pytest.mark.kernel_equiv
+
+STRATEGIES = list(CONV_STRATEGIES)
+# f32 central differences are noisy (machine eps ~1.2e-7), so the f32
+# column runs with a coarse step and loose tolerances; f64 stays tight.
+GRADCHECK_SETTINGS = {
+    "float64": {"eps": 1e-6, "rtol": 1e-4, "atol": 1e-6},
+    "float32": {"eps": 1e-2, "rtol": 2e-2, "atol": 2e-2},
+}
+FORWARD_TOL = {"float64": {"rtol": 1e-10, "atol": 1e-12}, "float32": {"rtol": 1e-4, "atol": 1e-5}}
+
+
+def _conv2d_inputs(dtype, seed=0, n=3, c_in=4, c_out=5, h=6, w=7):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, c_in, h, w)).astype(dtype)
+    weight = rng.standard_normal((c_out, c_in, 3, 3)).astype(dtype)
+    bias = rng.standard_normal(c_out).astype(dtype)
+    return x, weight, bias
+
+
+def _conv1d_inputs(dtype, seed=0, n=3, c_in=4, c_out=5, length=9):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, c_in, length)).astype(dtype)
+    weight = rng.standard_normal((c_out, c_in, 3)).astype(dtype)
+    bias = rng.standard_normal(c_out).astype(dtype)
+    return x, weight, bias
+
+
+class TestDispatch:
+    """The heuristic table and the ``conv_strategy`` scope."""
+
+    def test_auto_under_grad_resolves_to_im2col(self):
+        # im2col's saved patch workspace makes the cheapest backward, so
+        # grad-recording calls keep it regardless of the forward winners.
+        assert resolve_conv_strategy("conv2d", np.float64, 10**6, grad_enabled=True) == "im2col"
+        assert resolve_conv_strategy("conv1d", np.float64, 10**6, grad_enabled=True) == "im2col"
+
+    def test_default_rules_pick_measured_winners(self):
+        assert resolve_conv_strategy("conv2d", np.float64, 1) == "single_gemm"
+        assert resolve_conv_strategy("conv1d", np.float64, 1) == "single_gemm"
+        # f32 conv2d only folds the batch at paper scale; f32 conv1d
+        # never leaves im2col under the default table.
+        assert resolve_conv_strategy("conv2d", np.float32, 8191) == "im2col"
+        assert resolve_conv_strategy("conv2d", np.float32, 8192) == "single_gemm"
+        assert resolve_conv_strategy("conv1d", np.float32, 10**6) == "im2col"
+
+    def test_explicit_pin_beats_auto_even_under_grad(self):
+        with nn.conv_strategy("tap_gemm"):
+            assert resolve_conv_strategy("conv2d", np.float64, 1, grad_enabled=True) == "tap_gemm"
+            assert nn.kernels.active_conv_strategy() == "tap_gemm"
+
+    def test_rules_override_is_scoped(self):
+        rules = (("conv2d", "float32", 0, "tap_gemm"),)
+        with nn.conv_strategy("auto", rules=rules):
+            assert resolve_conv_strategy("conv2d", np.float32, 1) == "tap_gemm"
+            # Ops absent from the override table fall through to im2col,
+            # not to the default rules — the table replaces, not extends.
+            assert resolve_conv_strategy("conv2d", np.float64, 1) == "im2col"
+        assert resolve_conv_strategy("conv2d", np.float32, 1) == "im2col"
+        assert resolve_conv_strategy("conv2d", np.float64, 1) == "single_gemm"
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with nn.conv_strategy("single_gemm"):
+                raise RuntimeError("boom")
+        assert nn.kernels.active_conv_strategy() == "auto"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="im2col"):
+            nn.conv_strategy("winograd")
+
+    def test_default_rules_are_immutable_rows(self):
+        assert isinstance(DEFAULT_AUTO_RULES, tuple)
+        assert all(isinstance(row, tuple) and len(row) == 4 for row in DEFAULT_AUTO_RULES)
+
+
+class TestForwardEquivalence:
+    """All strategies compute the same convolution, on both execution
+    paths (graph-building train, arena-recycled no-grad inference)."""
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 2), (1, 0)])
+    def test_conv2d_strategies_agree(self, dtype, stride, padding):
+        x, weight, bias = _conv2d_inputs(dtype)
+        outputs = {}
+        for strategy in STRATEGIES:
+            with nn.conv_strategy(strategy):
+                train = conv2d(Tensor(x), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+                with nn.no_grad(), nn.use_arena(nn.BufferArena()):
+                    infer = conv2d(Tensor(x), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+                # Same kernel on both paths: the arena fast path is
+                # bitwise-identical to the graph-building forward.
+                assert np.array_equal(train.data, infer.data), strategy
+                outputs[strategy] = train.data
+        reference = outputs["im2col"]
+        for strategy in STRATEGIES[1:]:
+            np.testing.assert_allclose(
+                outputs[strategy], reference, **FORWARD_TOL[dtype], err_msg=strategy
+            )
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("stride,padding,dilation", [(1, 1, 1), (2, 2, 1), (1, 2, 2)])
+    def test_conv1d_strategies_agree(self, dtype, stride, padding, dilation):
+        x, weight, bias = _conv1d_inputs(dtype)
+        outputs = {}
+        for strategy in STRATEGIES:
+            with nn.conv_strategy(strategy):
+                train = conv1d(
+                    Tensor(x), Tensor(weight), Tensor(bias),
+                    stride=stride, padding=padding, dilation=dilation,
+                )
+                with nn.no_grad(), nn.use_arena(nn.BufferArena()):
+                    infer = conv1d(
+                        Tensor(x), Tensor(weight), Tensor(bias),
+                        stride=stride, padding=padding, dilation=dilation,
+                    )
+                assert np.array_equal(train.data, infer.data), strategy
+                outputs[strategy] = train.data
+        reference = outputs["im2col"]
+        for strategy in STRATEGIES[1:]:
+            np.testing.assert_allclose(
+                outputs[strategy], reference, **FORWARD_TOL[dtype], err_msg=strategy
+            )
+
+    def test_mixed_dtype_falls_back_to_im2col(self):
+        # The alternative kernels run one-dtype gemms with out=; a mixed
+        # weight/input call silently takes the im2col path instead of
+        # erroring, so promoted models keep working under any pin.
+        x, weight, bias = _conv2d_inputs("float32")
+        with nn.conv_strategy("single_gemm"):
+            out = conv2d(Tensor(x), Tensor(weight.astype(np.float64)), None, padding=1)
+        reference = conv2d(Tensor(x), Tensor(weight.astype(np.float64)), None, padding=1)
+        np.testing.assert_allclose(out.data, reference.data, rtol=1e-6, atol=1e-7)
+
+
+class TestGradcheck:
+    """Analytic backward vs central differences for every strategy."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_conv2d_gradients(self, strategy, dtype):
+        x, weight, bias = _conv2d_inputs(dtype, n=2, c_in=2, c_out=3, h=5, w=4)
+        settings = GRADCHECK_SETTINGS[dtype]
+        with nn.conv_strategy(strategy):
+            gradcheck(
+                lambda a, b, c: conv2d(a, b, c, stride=1, padding=1),
+                [Tensor(x, requires_grad=True), Tensor(weight, requires_grad=True), Tensor(bias, requires_grad=True)],
+                **settings,
+            )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_conv1d_gradients(self, strategy, dtype):
+        x, weight, bias = _conv1d_inputs(dtype, n=2, c_in=2, c_out=3, length=7)
+        settings = GRADCHECK_SETTINGS[dtype]
+        with nn.conv_strategy(strategy):
+            gradcheck(
+                lambda a, b, c: conv1d(a, b, c, stride=1, padding=2, dilation=2),
+                [Tensor(x, requires_grad=True), Tensor(weight, requires_grad=True), Tensor(bias, requires_grad=True)],
+                **settings,
+            )
+
+    @pytest.mark.parametrize("strategy", ["tap_gemm", "single_gemm"])
+    def test_conv2d_strided_gradients(self, strategy):
+        x, weight, bias = _conv2d_inputs("float64", n=2, c_in=2, c_out=3, h=6, w=5)
+        with nn.conv_strategy(strategy):
+            gradcheck(
+                lambda a, b, c: conv2d(a, b, c, stride=2, padding=1),
+                [Tensor(x, requires_grad=True), Tensor(weight, requires_grad=True), Tensor(bias, requires_grad=True)],
+            )
+
+
+class TestWorkspaceFootprint:
+    """Tap-gemm's reason to exist: strictly fewer workspace bytes."""
+
+    def _bytes_for(self, strategy):
+        x, weight, _ = _conv2d_inputs("float64", n=4, c_in=8, c_out=8, h=8, w=8)
+        arena = nn.BufferArena()
+        with nn.conv_strategy(strategy), nn.no_grad(), nn.use_arena(arena):
+            conv2d(Tensor(x), Tensor(weight), None, stride=1, padding=1)
+        stats = arena.stats()
+        assert stats["buffers"] > 0 and stats["misses"] > 0
+        assert stats["nbytes"] == sum(stats["bytes_by_dtype"].values())
+        return stats["nbytes"]
+
+    def test_tap_gemm_allocates_strictly_less_than_im2col(self):
+        # im2col materialises the (N, C*K, L) patch workspace (K = kh*kw
+        # input positions per output); tap-gemm accumulates through two
+        # output-sized buffers instead, so its arena footprint must be
+        # strictly smaller on the same call.
+        assert self._bytes_for("tap_gemm") < self._bytes_for("im2col")
+
+    def test_stats_counts_hits_across_calls(self):
+        x, weight, _ = _conv2d_inputs("float64")
+        arena = nn.BufferArena()
+        for _ in range(2):
+            with nn.conv_strategy("tap_gemm"), nn.no_grad(), nn.use_arena(arena):
+                conv2d(Tensor(x), Tensor(weight), None, padding=1)
+        stats = arena.stats()
+        # Second call re-hits every buffer the first call allocated.
+        assert stats["hits"] >= stats["misses"] > 0
+
+
+GEOMETRY = ModelGeometry(rows=4, cols=4, num_categories=4)
+WINDOW = 10
+
+
+class TestRegisteredModels:
+    """Every registered model predicts the same under any pinned
+    strategy — the dispatch layer is invisible to the model zoo."""
+
+    @pytest.mark.parametrize("name", [*BASELINE_NAMES, "ST-HSL", "HA"])
+    def test_predict_equivalent_across_strategies(self, name):
+        model = REGISTRY.build(name, geometry=GEOMETRY, window=WINDOW, hidden=8, seed=0)
+        window = np.random.default_rng(11).standard_normal((GEOMETRY.num_regions, WINDOW, 4))
+        with nn.conv_strategy("im2col"):
+            reference = model.predict(window)
+        for strategy in ("tap_gemm", "single_gemm", "auto"):
+            with nn.conv_strategy(strategy):
+                np.testing.assert_allclose(
+                    model.predict(window), reference, rtol=1e-8, atol=1e-10,
+                    err_msg=f"{name} under {strategy}",
+                )

@@ -1,13 +1,16 @@
 """Smoke tests for the tracked perf harness (tier-1, < 30 s).
 
 Runs one tiny throughput measurement through the same code path as
-``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v4``
-schema (training + inference + serving sections), so schema or harness
-breakage is caught by the default suite rather than at the next manual
-bench run.  Also guards the *committed* ``BENCH_perf.json`` against
-regression: if a future bench run lands numbers below the trajectory
-recorded by earlier PRs, the suite fails instead of silently shipping a
-slowdown.
+``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v5``
+schema (training + inference + serving + kernels sections), so schema
+or harness breakage is caught by the default suite rather than at the
+next manual bench run.  Also guards the *committed* ``BENCH_perf.json``
+against regression: if a future bench run lands numbers below the
+trajectory recorded by earlier PRs, the suite fails instead of silently
+shipping a slowdown.  The kernel floors defend the PR 8 acceptance
+criteria: the best conv strategy beats im2col by >= 1.15x on batched
+f64 inference on at least one geometry, and ``served_dtype="float16"``
+beats the batched float32 baseline while staying inside its MAE gate.
 """
 
 import json
@@ -55,6 +58,12 @@ TRACKED_SPEEDUP_FLOORS = {
     },
 }
 
+# PR 8 acceptance floors on the kernels section of the committed bench.
+# Checked across geometries: each must hold on at least one recorded
+# geometry (the f32 auto-dispatch threshold only trips at paper scale).
+KERNEL_F64_BEST_FLOOR = 1.15  # best conv strategy vs im2col, batched f64
+KERNEL_F16_SERVING_FLOOR = 1.0  # float16 serving vs batched f32 baseline
+
 
 @pytest.mark.perf_smoke
 def test_perf_smoke(tmp_path):
@@ -73,6 +82,7 @@ def test_perf_smoke(tmp_path):
         serving_concurrency=(1, 2),
         serving_max_batch=2,
         serving_workers=(1, 2),
+        kernel_channels=8,
     )
 
     validate_perf_payload(payload)
@@ -108,6 +118,26 @@ def test_perf_smoke(tmp_path):
     assert "service_conc2_vs_graph_baseline" in serving["speedups"]
     assert "service_conc2_workers2_vs_workers1" in serving["speedups"]
 
+    kernels = payload["kernels"]["geometries"]
+    assert len(kernels) == 1  # defaults to the measurement dataset's geometry
+    block = kernels[0]
+    assert (block["rows"], block["cols"]) == (4, 4)
+    combos = {(e["op"], e["dtype"], e["strategy"]) for e in block["conv"]}
+    for op in ("conv2d", "conv1d"):
+        for dtype in ("float64", "float32"):
+            for strategy in ("im2col", "tap_gemm", "single_gemm"):
+                assert (op, dtype, strategy) in combos
+    assert "conv2d_float64_best_vs_im2col" in block["speedups"]
+    serving_modes = {e["mode"] for e in block["serving_dtypes"]["entries"]}
+    assert serving_modes == {"float32_baseline_im2col", "float32", "float16", "int8"}
+    for entry in block["serving_dtypes"]["entries"]:
+        if entry["mode"] in ("float16", "int8"):
+            assert entry["within_gate"], (
+                f"{entry['mode']} serving accuracy outside its MAE gate: "
+                f"{entry['mae_delta_rel']} > {entry['mae_gate_rel']}"
+            )
+    assert "float16_vs_float32_baseline" in block["serving_dtypes"]["speedups"]
+
     out = tmp_path / "BENCH_perf.json"
     write_perf_json(payload, out)
     assert json.loads(out.read_text())["schema"] == PERF_SCHEMA
@@ -123,6 +153,8 @@ def test_perf_schema_rejects_malformed():
         validate_perf_payload({"schema": "repro.perf/v2"})  # pre-serving payloads
     with pytest.raises(ValueError, match="regenerate"):
         validate_perf_payload({"schema": "repro.perf/v3"})  # pre-workers payloads
+    with pytest.raises(ValueError, match="regenerate"):
+        validate_perf_payload({"schema": "repro.perf/v4"})  # pre-kernels payloads
     with pytest.raises(ValueError):
         validate_perf_payload({"schema": PERF_SCHEMA, "geometry": {}, "training": {}})
     with pytest.raises(ValueError):
@@ -180,3 +212,45 @@ def test_committed_bench_speedups_hold_the_trajectory():
                 f"floor {floor}x — a perf regression (or a bench run on a "
                 "different machine; re-measure the seed reference if so)"
             )
+
+
+@pytest.mark.perf_smoke
+def test_committed_bench_kernel_floors():
+    """PR 8 acceptance on the committed bench: the kernels section records
+    both the 6x6 and the 16x16 paper-scale geometries; on at least one,
+    the best conv strategy beats im2col by >= 1.15x on batched f64
+    inference; float16 serving beats the batched f32 baseline somewhere;
+    and every gated serving dtype stays inside its MAE gate."""
+    payload = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    blocks = payload["kernels"]["geometries"]
+    geometries = {(b["rows"], b["cols"]) for b in blocks}
+    assert (6, 6) in geometries and (16, 16) in geometries
+
+    best_f64 = max(
+        max(
+            b["speedups"]["conv2d_float64_best_vs_im2col"],
+            b["speedups"]["conv1d_float64_best_vs_im2col"],
+        )
+        for b in blocks
+    )
+    assert best_f64 >= KERNEL_F64_BEST_FLOOR, (
+        f"best f64 conv strategy only reaches {best_f64}x vs im2col — below "
+        f"the {KERNEL_F64_BEST_FLOOR}x acceptance floor on every geometry"
+    )
+
+    f16_best = max(
+        b["serving_dtypes"]["speedups"]["float16_vs_float32_baseline"] for b in blocks
+    )
+    assert f16_best > KERNEL_F16_SERVING_FLOOR, (
+        f"float16 serving only reaches {f16_best}x vs the batched f32 "
+        "baseline — it must win on at least one geometry"
+    )
+
+    for block in blocks:
+        for entry in block["serving_dtypes"]["entries"]:
+            if "within_gate" in entry:
+                assert entry["within_gate"], (
+                    f"{entry['mode']} serving on {block['rows']}x{block['cols']} "
+                    f"exceeds its MAE gate: {entry['mae_delta_rel']} > "
+                    f"{entry['mae_gate_rel']}"
+                )
