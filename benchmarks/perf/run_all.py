@@ -14,7 +14,11 @@ The ``kernels`` section benchmarks the conv execution strategies
 (im2col / tap-gemm / single-gemm, see :mod:`repro.nn.kernels`) and the
 sub-f32 serving dtypes (float16 storage quantization, int8 experiment)
 on both the 6x6 benchmark geometry and the 16x16 paper-scale grid.
-Writes ``BENCH_perf.json`` (schema ``repro.perf/v5``) at the repo root
+The ``network`` section measures the same artifact behind the three
+deployment shapes (in-process service, HTTP loopback via the
+``NetworkServer`` + ``RemoteForecastService`` client SDK, and a
+``WorkerPool`` of forked worker processes) at client concurrency 4.
+Writes ``BENCH_perf.json`` (schema ``repro.perf/v6``) at the repo root
 so future PRs have a perf trajectory to defend.
 
 Run from the repo root:
@@ -70,6 +74,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--serving-concurrency", type=int, nargs="+", default=[1, 4, 16])
     parser.add_argument("--serving-max-batch", type=int, default=4)
     parser.add_argument("--serving-workers", type=int, nargs="+", default=[1, 2])
+    parser.add_argument(
+        "--network-concurrency",
+        type=int,
+        default=4,
+        help="client threads for the network deployment-shape comparison",
+    )
+    parser.add_argument(
+        "--network-process-workers",
+        type=int,
+        default=2,
+        help="forked worker processes for the network section's pool column",
+    )
     parser.add_argument("--seed-seconds", type=float, default=SEED_REFERENCE["epoch_seconds"])
     parser.add_argument("--no-float32", action="store_true", help="skip the float32 mode column")
     parser.add_argument(
@@ -120,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         serving_workers=tuple(args.serving_workers),
         kernel_datasets=kernel_datasets,
         kernel_channels=args.kernel_channels,
+        network_concurrency=args.network_concurrency,
+        network_process_workers=args.network_process_workers,
     )
     write_perf_json(payload, args.out)
 
@@ -200,7 +218,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"serving dtypes ({geometry})")
         print(format_table(headers, serving_rows, float_format="{:.2f}"))
         print()
-    for section in ("training", "inference", "serving"):
+    network = payload["network"]
+    headers = ["Mode", "Transport", "Workers", "Concurrency", "Requests/s"]
+    rows = [
+        [e["mode"], e["transport"], e["workers"], e["concurrency"], e["requests_per_sec"]]
+        for e in network["modes"]
+    ]
+    print(
+        f"network ({network['num_requests']} requests, "
+        f"rpc_schema={network['rpc_schema']})"
+    )
+    print(format_table(headers, rows, float_format="{:.2f}"))
+    print()
+    for section in ("training", "inference", "serving", "network"):
         for name, value in payload[section]["speedups"].items():
             print(f"{section}.{name}: {value:.2f}x")
     for block in payload["kernels"]["geometries"]:

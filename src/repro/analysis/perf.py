@@ -2,8 +2,8 @@
 
 ST-HSL's efficiency study (paper Table V) compares architectures; this
 module instead tracks *our implementation's* throughput over time so
-every PR can defend a perf trajectory.  Schema ``repro.perf/v5`` records
-four sections:
+every PR can defend a perf trajectory.  Schema ``repro.perf/v6`` records
+five sections:
 
 * ``training`` — windows/sec and epoch wall-clock for the batched
   execution path at several batch sizes, the per-sample fallback path,
@@ -34,7 +34,17 @@ four sections:
   against native-f64 predictions and a relative accuracy gate
   (:data:`KERNEL_MAE_GATES`) so speed never silently costs accuracy.
   Run at both the 6x6 toy grid and the 16x16 paper-scale grid by
-  ``benchmarks/perf/run_all.py``.
+  ``benchmarks/perf/run_all.py``;
+* ``network`` (new in v6) — requests/sec for the same artifact behind
+  three deployment shapes at one client concurrency: ``local`` (the
+  in-process :class:`~repro.serving.ForecastService`, the wire-tax
+  reference), ``remote`` (the same service behind a
+  :class:`~repro.serving.NetworkServer` driven through the
+  :class:`~repro.serving.RemoteForecastService` client SDK over a real
+  loopback socket — HTTP parse + JSON encode/decode per request), and
+  ``process_workers`` (the service backed by a
+  :class:`~repro.serving.WorkerPool` of forked worker processes —
+  pickle + pipe per job, but true multi-core inference).
 
 Entry point: ``benchmarks/perf/run_all.py``; a tier-1 smoke test
 (``pytest -m perf_smoke``) validates the schema on a tiny geometry and
@@ -64,6 +74,7 @@ __all__ = [
     "drive_clients",
     "enable_fast_alloc",
     "measure_kernels",
+    "measure_network",
     "measure_perf",
     "measure_inference",
     "measure_serving",
@@ -71,7 +82,7 @@ __all__ = [
     "write_perf_json",
 ]
 
-PERF_SCHEMA = "repro.perf/v5"
+PERF_SCHEMA = "repro.perf/v6"
 
 #: Relative MAE gates for the sub-f32 serving rows: mean |prediction
 #: delta| vs the native-f64 forecaster, divided by the mean |f64
@@ -87,9 +98,11 @@ _REQUIRED_SEQUENTIAL_KEYS = {"path", "dtype", "requests_per_sec"}
 _REQUIRED_SERVICE_KEYS = {"workers", "concurrency", "requests_per_sec", "mean_batch"}
 _REQUIRED_KERNEL_CONV_KEYS = {"op", "dtype", "strategy", "calls", "seconds", "per_call_ms"}
 _REQUIRED_KERNEL_SERVING_KEYS = {"mode", "served_dtype", "predictions_per_sec", "mae_delta", "mae_delta_rel"}
+_REQUIRED_NETWORK_KEYS = {"mode", "concurrency", "requests_per_sec"}
 _INFERENCE_PATHS = ("graph", "no_grad", "batched")
 _SEQUENTIAL_PATHS = ("graph", "no_grad")
 _KERNEL_SERVING_MODES = ("float32_baseline_im2col", "float32", "float16", "int8")
+_NETWORK_MODES = ("local", "remote", "process_workers")
 
 
 def enable_fast_alloc() -> bool:
@@ -570,6 +583,123 @@ def measure_kernels(
     }
 
 
+def measure_network(
+    artifact_path: str | Path,
+    windows: np.ndarray,
+    concurrency: int = 4,
+    max_batch: int = 4,
+    served_dtype: str | None = "float32",
+    reps: int = 3,
+    process_workers: int = 2,
+) -> dict:
+    """Requests/sec for one artifact behind three deployment shapes.
+
+    Every mode serves the same ``(N, R, W, C)`` request windows to the
+    same ``concurrency`` blocking clients (via :func:`drive_clients`),
+    so the columns isolate deployment cost, not workload:
+
+    * ``local`` — the in-process :class:`~repro.serving.ForecastService`
+      (the reference the wire tax is measured against);
+    * ``remote`` — the same service behind a live
+      :class:`~repro.serving.NetworkServer` on an ephemeral loopback
+      port, driven through the :class:`~repro.serving.RemoteForecastService`
+      client SDK: each request pays HTTP parsing plus JSON
+      encode/decode both ways;
+    * ``process_workers`` — the service backed by a
+      :class:`~repro.serving.WorkerPool` of ``process_workers`` forked
+      worker processes: each job pays a pickle + pipe round trip but
+      computes outside the client GIL.
+
+    Returns the ``network`` payload section; ``speedups`` records
+    ``remote_vs_local`` (the wire tax, expected < 1 on one core) and
+    ``process_workers_vs_local``.  Example::
+
+        network = measure_network("model.npz", stacked, concurrency=4)
+        print(network["speedups"]["remote_vs_local"])
+    """
+    from ..serving import (
+        ForecastService,
+        ModelPool,
+        NetworkServer,
+        RemoteForecastService,
+        WorkerPool,
+    )
+
+    windows = np.asarray(windows, dtype=float)
+    num_requests = len(windows)
+    clients = min(concurrency, num_requests)
+    pool = ModelPool(capacity=2, served_dtype=served_dtype)
+    served = pool.get(artifact_path)
+
+    def best_rate(backend) -> float:
+        elapsed = min(drive_clients(backend, windows, clients) for _ in range(reps))
+        return num_requests / elapsed
+
+    entries: list[dict] = []
+    rates: dict[str, float] = {}
+
+    with ForecastService(served, max_batch=max_batch, workers=1) as service:
+        service.predict_many([windows[0]] * max_batch)
+        rates["local"] = best_rate(service)
+        entries.append(
+            {
+                "mode": "local",
+                "transport": "in_process",
+                "workers": 1,
+                "concurrency": clients,
+                "requests_per_sec": round(rates["local"], 2),
+            }
+        )
+
+    with ForecastService(served, max_batch=max_batch, workers=1) as service:
+        with NetworkServer(service, port=0, model="perf") as server:
+            client = RemoteForecastService(server.url, max_connections=clients)
+            try:
+                client.predict(windows[0])  # connection + edge warm-up
+                rates["remote"] = best_rate(client)
+            finally:
+                client.stop()
+        entries.append(
+            {
+                "mode": "remote",
+                "transport": "http_loopback",
+                "workers": 1,
+                "concurrency": clients,
+                "requests_per_sec": round(rates["remote"], 2),
+            }
+        )
+
+    with WorkerPool(artifact_path, workers=process_workers, job_timeout=120.0) as wpool:
+        with ForecastService(
+            wpool, max_batch=max_batch, workers=process_workers
+        ) as service:
+            service.predict_many([windows[0]] * max(process_workers * max_batch, 1))
+            rates["process_workers"] = best_rate(service)
+            entries.append(
+                {
+                    "mode": "process_workers",
+                    "transport": "pipe_fork",
+                    "workers": process_workers,
+                    "concurrency": clients,
+                    "requests_per_sec": round(rates["process_workers"], 2),
+                }
+            )
+
+    return {
+        "num_requests": num_requests,
+        "concurrency": clients,
+        "max_batch": max_batch,
+        "rpc_schema": "repro.rpc/v1",
+        "modes": entries,
+        "speedups": {
+            "remote_vs_local": round(rates["remote"] / rates["local"], 3),
+            "process_workers_vs_local": round(
+                rates["process_workers"] / rates["local"], 3
+            ),
+        },
+    }
+
+
 def measure_perf(
     dataset: CrimeDataset,
     budget: ExperimentBudget,
@@ -585,6 +715,8 @@ def measure_perf(
     serving_workers: Sequence[int] = (1, 2),
     kernel_datasets: Sequence[CrimeDataset] | None = None,
     kernel_channels: int = 32,
+    network_concurrency: int = 4,
+    network_process_workers: int = 2,
 ) -> dict:
     """Measure training and inference throughput across execution modes.
 
@@ -613,6 +745,12 @@ def measure_perf(
     dataset in ``kernel_datasets`` — pass the bench dataset plus a
     paper-scale 16x16 one to record both geometries, as
     ``benchmarks/perf/run_all.py`` does; defaults to just ``dataset``.
+
+    The network section (see :func:`measure_network`) serves the same
+    artifact behind the in-process service, a live loopback
+    :class:`~repro.serving.NetworkServer`, and a
+    :class:`~repro.serving.WorkerPool` of ``network_process_workers``
+    forked processes, all at ``network_concurrency`` clients.
     """
     if fast_alloc:
         enable_fast_alloc()
@@ -718,6 +856,14 @@ def measure_perf(
             reps=reps,
             workers=tuple(serving_workers),
         )
+        network = measure_network(
+            artifact_path,
+            raw_windows,
+            concurrency=network_concurrency,
+            max_batch=serving_max_batch,
+            reps=reps,
+            process_workers=network_process_workers,
+        )
 
     # ----- Kernels section -----
     kernel_blocks = [
@@ -749,6 +895,7 @@ def measure_perf(
         },
         "serving": serving,
         "kernels": {"geometries": kernel_blocks},
+        "network": network,
     }
     if seed_reference is not None:
         payload["seed_reference"] = dict(seed_reference)
@@ -865,19 +1012,45 @@ def _validate_kernels(section) -> None:
                 )
 
 
+def _validate_network(section) -> None:
+    if not isinstance(section, dict):
+        raise ValueError("network must be a mapping")
+    for key in ("num_requests", "concurrency", "modes", "speedups"):
+        if key not in section:
+            raise ValueError(f"network missing key {key!r}")
+    if not isinstance(section["modes"], list) or not section["modes"]:
+        raise ValueError("network.modes must be a non-empty list")
+    recorded = set()
+    for entry in section["modes"]:
+        missing = _REQUIRED_NETWORK_KEYS - set(entry)
+        if missing:
+            raise ValueError(f"network mode entry missing keys {sorted(missing)}")
+        if entry["mode"] not in _NETWORK_MODES:
+            raise ValueError(f"unknown network mode {entry['mode']!r}")
+        if not entry["requests_per_sec"] > 0 or not entry["concurrency"] >= 1:
+            raise ValueError("network mode entries must have positive rates")
+        recorded.add(entry["mode"])
+    missing_modes = set(_NETWORK_MODES) - recorded
+    if missing_modes:
+        raise ValueError(f"network section missing modes {sorted(missing_modes)}")
+    if not all(isinstance(v, (int, float)) and v > 0 for v in section["speedups"].values()):
+        raise ValueError("network.speedups must be positive numbers")
+
+
 def validate_perf_payload(payload: dict) -> None:
-    """Raise ``ValueError`` if ``payload`` does not match the v5 perf schema.
+    """Raise ``ValueError`` if ``payload`` does not match the v6 perf schema.
 
     The kernels section's accuracy gates are enforced here too: a payload
     recording a float16/int8 serving row outside its MAE gate is invalid,
-    not merely slow.
+    not merely slow — and the network section must record all three
+    deployment shapes (local, remote, process_workers).
     """
     if payload.get("schema") != PERF_SCHEMA:
         raise ValueError(
             f"unexpected schema tag: {payload.get('schema')!r} (expected {PERF_SCHEMA}; "
-            "re-run benchmarks/perf/run_all.py to regenerate pre-v5 payloads)"
+            "re-run benchmarks/perf/run_all.py to regenerate pre-v6 payloads)"
         )
-    for key in ("geometry", "training", "inference", "serving", "kernels"):
+    for key in ("geometry", "training", "inference", "serving", "kernels", "network"):
         if key not in payload:
             raise ValueError(f"missing top-level key {key!r}")
     _validate_section(
@@ -894,6 +1067,7 @@ def validate_perf_payload(payload: dict) -> None:
             raise ValueError(f"unknown inference path {entry['path']!r}")
     _validate_serving(payload["serving"])
     _validate_kernels(payload["kernels"])
+    _validate_network(payload["network"])
 
 
 def write_perf_json(payload: dict, path) -> None:

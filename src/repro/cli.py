@@ -156,13 +156,73 @@ def _cmd_forecast(args) -> int:
     return 0
 
 
+def _parse_listen(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) for ``serve --listen``; 0 = ephemeral."""
+    host, _, port = value.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"--listen expects HOST:PORT or PORT, got {value!r}")
+
+
+def _print_service_stats(stats, edge=None) -> None:
+    rows = [[key, value] for key, value in stats.to_dict().items()]
+    if edge is not None:
+        rows += [[f"edge.{key}", value] for key, value in edge.items()]
+    print(format_table(["stat", "value"], rows))
+
+
 def _cmd_serve(args) -> int:
-    """Demo serving session: concurrent clients against a ForecastService."""
+    """Demo serving session: concurrent clients against a ForecastService.
+
+    Three network shapes share this command: in-process (default),
+    ``--listen HOST:PORT`` (start a NetworkServer and drive the demo
+    through the RemoteForecastService client SDK over loopback — or
+    serve forever with ``--requests 0``), and ``--connect URL`` (drive
+    an already-running server).  ``--process-workers N`` swaps the
+    in-process model for a WorkerPool of forked worker processes.
+    """
+    import time as _time
+
     from .analysis.perf import drive_clients
-    from .serving import ForecastService, ModelPool, build_fallback_tier
+    from .serving import (
+        ForecastService,
+        ModelPool,
+        NetworkServer,
+        RemoteForecastService,
+        WorkerPool,
+        build_fallback_tier,
+    )
 
     pool = ModelPool(capacity=args.pool_capacity, served_dtype=args.served_dtype)
     forecaster = pool.get(args.checkpoint)
+    dataset = _data_spec(args).load()
+    forecaster.check_compatible(dataset)
+    window = forecaster.window
+    days = range(window, dataset.num_days)
+    windows = [dataset.tensor[:, day - window : day, :] for day in days]
+    requests = [windows[i % len(windows)] for i in range(args.requests)]
+
+    if args.connect:
+        # Client mode: the checkpoint only shapes the request windows;
+        # the model lives on the other side of the wire.
+        client = RemoteForecastService(args.connect)
+        try:
+            health = client.health()
+            print(
+                f"driving {client.url} (model={health.get('model') or 'unnamed'}, "
+                f"running={health.get('running')}) with {len(requests)} requests "
+                f"x{args.concurrency} clients"
+            )
+            if not requests:
+                return 0
+            client.predict(requests[0])  # connection + model warm-up
+            drive_clients(client, requests, min(args.concurrency, len(requests)))
+            _print_service_stats(client.stats(), edge=client.stats_raw().get("edge"))
+        finally:
+            client.stop()
+        return 0
+
     dtype = forecaster.served_dtype or "native"
     deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
     fallback = build_fallback_tier(forecaster, model=args.fallback) if args.fallback else None
@@ -173,35 +233,71 @@ def _cmd_serve(args) -> int:
         knobs.append(f"max_queue={args.max_queue}")
     if fallback is not None:
         knobs.append(f"fallback={args.fallback}")
+    if args.process_workers:
+        knobs.append(f"process_workers={args.process_workers}")
+    if args.rate_limit:
+        knobs.append(f"rate_limit={args.rate_limit}/s")
     print(
-        f"serving {forecaster.model_name} (window={forecaster.window}, "
+        f"serving {forecaster.model_name} (window={window}, "
         f"dtype={dtype}, workers={args.workers}"
         + (", " + ", ".join(knobs) if knobs else "")
         + f") from {args.checkpoint}"
     )
-    dataset = _data_spec(args).load()
-    forecaster.check_compatible(dataset)
-    window = forecaster.window
-    days = range(window, dataset.num_days)
-    windows = [dataset.tensor[:, day - window : day, :] for day in days]
-    requests = [windows[i % len(windows)] for i in range(args.requests)]
 
-    with ForecastService(
-        forecaster,
-        max_batch=args.max_batch,
-        workers=args.workers,
-        deadline=deadline,
-        max_queue=args.max_queue,
-        fallback=fallback,
-    ) as service:
-        # Warm-up burst sized so every worker thread builds its per-thread
-        # arena before timing (a single request warms only one worker).
-        service.predict_many([requests[0]] * max(args.workers * args.max_batch, 1))
-        service.reset_stats()
-        drive_clients(service, requests, min(args.concurrency, len(requests)))
-        stats = service.stats()
-    rows = [[key, value] for key, value in stats.to_dict().items()]
-    print(format_table(["stat", "value"], rows))
+    worker_pool = None
+    backend = forecaster
+    if args.process_workers:
+        worker_pool = WorkerPool(args.checkpoint, workers=args.process_workers).start()
+        backend = worker_pool
+    try:
+        with ForecastService(
+            backend,
+            max_batch=args.max_batch,
+            workers=args.workers,
+            deadline=deadline,
+            max_queue=args.max_queue,
+            fallback=fallback,
+        ) as service:
+            # Warm-up burst sized so every worker thread builds its
+            # per-thread arena before timing (a single request warms only
+            # one worker).
+            warm = requests[0] if requests else windows[0]
+            service.predict_many([warm] * max(args.workers * args.max_batch, 1))
+            service.reset_stats()
+
+            if args.listen is None:
+                drive_clients(service, requests, min(args.concurrency, len(requests)))
+                _print_service_stats(service.stats())
+                return 0
+
+            host, port = _parse_listen(args.listen)
+            with NetworkServer(
+                service,
+                host=host,
+                port=port,
+                rate_limit=args.rate_limit,
+                model=forecaster.model_name,
+            ) as server:
+                print(f"listening on {server.url} (repro.rpc/v1)")
+                if not requests:
+                    print("serving until interrupted (--requests 0); Ctrl-C to stop")
+                    try:
+                        while True:
+                            _time.sleep(1.0)
+                    except KeyboardInterrupt:
+                        print("interrupted; shutting down")
+                        return 0
+                client = RemoteForecastService(server.url)
+                try:
+                    client.predict(requests[0])  # edge warm-up
+                    service.reset_stats()
+                    drive_clients(client, requests, min(args.concurrency, len(requests)))
+                    _print_service_stats(service.stats(), edge=server.stats())
+                finally:
+                    client.stop()
+    finally:
+        if worker_pool is not None:
+            worker_pool.stop()
     return 0
 
 
@@ -319,6 +415,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MODEL",
         help="degraded-fallback tier built from the checkpoint geometry "
         "(an untrained-servable model, e.g. HA)",
+    )
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="expose the service over HTTP (repro.rpc/v1) and drive the demo "
+        "through the client SDK; port 0 picks an ephemeral port; "
+        "--requests 0 serves forever",
+    )
+    p.add_argument(
+        "--connect",
+        default=None,
+        metavar="URL",
+        help="drive an already-running server instead of starting one "
+        "(the checkpoint only shapes the request windows)",
+    )
+    p.add_argument(
+        "--process-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="back the service with N forked worker processes instead of "
+        "the in-process model",
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-tenant token-bucket rate limit at the network edge "
+        "(requires --listen)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -29,6 +29,21 @@ a typed :class:`ServingError` subclass, and the whole stack is
 chaos-testable through the deterministic :class:`FaultPlan` harness.
 See ``docs/serving.md`` ("Failure model and degradation ladder").
 
+The **network edge** carries all of it across the process boundary:
+:class:`NetworkServer` is an asyncio HTTP frontend speaking the
+versioned ``repro.rpc/v1`` JSON schema (:mod:`repro.serving.rpc`) with
+per-tenant :class:`TokenBucket` rate limiting and deadline propagation;
+:class:`RemoteForecastService` is the client SDK that satisfies the
+same :class:`ForecastBackend` protocol as the local service (results
+bitwise-equal across the hop); and :class:`WorkerPool` runs forecasts
+on pre-forked shared-nothing worker *processes*, crash-respawned under
+the same :class:`WorkerCrashedError` taxonomy.  See ``docs/serving.md``
+("Network edge")::
+
+    with NetworkServer(service, port=0, rate_limit=500.0) as server:
+        remote = RemoteForecastService(server.url)
+        counts = remote.predict(history, deadline=2.0)
+
 Usage
 -----
 
@@ -56,10 +71,15 @@ See ``docs/serving.md`` for the request lifecycle, micro-batching
 semantics and the artifact v2 schema this layer relies on.
 """
 
+from . import rpc
+from .backend import ForecastBackend
 from .errors import (
     ArtifactLoadError,
+    BadRequestError,
     CircuitOpenError,
     DeadlineExceededError,
+    RateLimitedError,
+    RemoteError,
     ServiceOverloadedError,
     ServiceStoppedError,
     ServingError,
@@ -67,7 +87,9 @@ from .errors import (
     WorkerCrashedError,
 )
 from .faultinject import FaultPlan, InjectedFault, corrupt_artifact
+from .net import NetworkServer, TokenBucket
 from .pool import ModelPool, PoolStats
+from .remote import RemoteForecastService
 from .resilience import (
     CircuitBreaker,
     Deadline,
@@ -76,7 +98,9 @@ from .resilience import (
     build_fallback_tier,
 )
 from .router import ShardRouter, shard_dataset, split_rows, train_shards
+from .rpc import RPC_SCHEMA
 from .service import ForecastService, ServiceStats
+from .workers import WorkerPool
 
 __all__ = [
     "ModelPool",
@@ -87,6 +111,14 @@ __all__ = [
     "shard_dataset",
     "split_rows",
     "train_shards",
+    # network edge
+    "ForecastBackend",
+    "NetworkServer",
+    "TokenBucket",
+    "RemoteForecastService",
+    "WorkerPool",
+    "RPC_SCHEMA",
+    "rpc",
     # resilience primitives
     "Deadline",
     "RetryPolicy",
@@ -106,4 +138,7 @@ __all__ = [
     "ArtifactLoadError",
     "ShardFailedError",
     "WorkerCrashedError",
+    "BadRequestError",
+    "RateLimitedError",
+    "RemoteError",
 ]

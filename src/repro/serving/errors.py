@@ -24,6 +24,9 @@ __all__ = [
     "ArtifactLoadError",
     "ShardFailedError",
     "WorkerCrashedError",
+    "BadRequestError",
+    "RateLimitedError",
+    "RemoteError",
 ]
 
 
@@ -123,13 +126,63 @@ class ShardFailedError(ServingError):
     """
 
 
+class BadRequestError(ServingError, ValueError):
+    """A request payload violated the ``repro.rpc/v1`` wire schema.
+
+    Raised by :mod:`repro.serving.rpc` decoders for malformed JSON,
+    unknown fields, a missing/unsupported ``schema`` tag, or windows
+    that are not numeric ``(R, W, C)`` arrays; the network edge maps it
+    to HTTP 400.  Subclasses ``ValueError`` so generic argument
+    validation handling applies::
+
+        try:
+            window, deadline, tenant = decode_predict_request(payload)
+        except BadRequestError as exc:
+            status, body = encode_error(exc)   # 400 + typed error JSON
+    """
+
+
+class RateLimitedError(ServiceOverloadedError):
+    """A tenant exhausted its token-bucket rate allowance.
+
+    A refinement of :class:`ServiceOverloadedError` (both map to HTTP
+    429 and both mean "back off and retry"), distinguishable so clients
+    can tell per-tenant throttling from global queue saturation::
+
+        try:
+            client.predict(window)
+        except RateLimitedError:
+            ...  # this tenant is over its budget; others still flow
+        except ServiceOverloadedError:
+            ...  # the whole admission queue is saturated
+    """
+
+
+class RemoteError(ServingError):
+    """Transport or protocol failure talking to a remote forecast server.
+
+    Raised by :class:`~repro.serving.RemoteForecastService` when the
+    connection fails, the response is not valid ``repro.rpc/v1`` JSON,
+    or the server closed mid-response — the failure is in the pipe, not
+    the model.  Server-side failures arrive as their own typed errors
+    (:class:`DeadlineExceededError`, :class:`ServiceOverloadedError`,
+    ...) decoded from the error payload::
+
+        try:
+            counts = remote.predict(window)
+        except RemoteError:
+            ...  # network trouble: retry another replica
+    """
+
+
 class WorkerCrashedError(ServingError):
-    """A service worker thread died mid-batch.
+    """A service worker thread — or worker *process* — died mid-batch.
 
     Every request that was in flight on the dead worker is completed
     with this error (the killing exception chained as ``__cause__``);
-    the service respawns a replacement worker, so later requests
-    succeed::
+    both :class:`~repro.serving.ForecastService` (thread workers) and
+    :class:`~repro.serving.WorkerPool` (process workers) respawn a
+    replacement, so later requests succeed::
 
         try:
             handle.wait()

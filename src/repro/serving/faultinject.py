@@ -20,6 +20,15 @@ site                      fired
                           (raise → the worker thread dies mid-batch)
 ``"router.shard"``        before each shard band predict (raise → band
                           retry/breaker/ShardFailedError)
+``"net.accept"``          per accepted connection, before the first read
+                          (raise → the connection is dropped unanswered —
+                          a client that vanished)
+``"net.read"``            before each request-body read on the edge (raise →
+                          mid-request disconnect; delay → a slow-loris client
+                          eating the read budget → 408)
+``"workers.dispatch"``    before a :class:`~repro.serving.WorkerPool` job is
+                          shipped to a worker process (raise → dispatch
+                          failure; delay → queueing latency)
 ========================  =====================================================
 
 Faults are matched by deterministic per-site call counts (and a seeded

@@ -1,0 +1,529 @@
+"""The network edge: an asyncio HTTP frontend over a forecast backend.
+
+:class:`NetworkServer` turns any in-process
+:class:`~repro.serving.ForecastService` into a real service boundary: a
+stdlib-``asyncio`` HTTP/1.1 server (no third-party dependencies)
+speaking the versioned :mod:`repro.serving.rpc` JSON schema on four
+endpoints:
+
+==========================  =================================================
+endpoint                    behaviour
+==========================  =================================================
+``POST /v1/predict``        one ``(R, W, C)`` window → ``(R, C)`` counts
+``POST /v1/predict_batch``  a list of windows → per-window results, one
+                            submit burst (coalesces into shared batches)
+``GET /healthz``            liveness + the backing service's running flag
+``GET /statz``              service stats + the edge's own counters
+==========================  =================================================
+
+The edge maps the serving failure model onto HTTP: a full admission
+queue (:class:`~repro.serving.ServiceOverloadedError`) and a tenant
+over its token-bucket budget (:class:`~repro.serving.RateLimitedError`)
+are **429**; an expired deadline is **504** (shed before compute, as
+ever); a schema violation is **400** with a typed error document; a
+slow-loris body read that exhausts ``read_timeout`` is **408**.  Every
+error response is a ``repro.rpc/v1`` error payload, so the client SDK
+re-raises the same typed exception the in-process caller would have
+seen.
+
+Deadlines propagate: a request's ``deadline_ms`` becomes the
+:class:`~repro.serving.Deadline` its service submission carries, so the
+worker-side shed logic and the client's budget agree.  The asyncio loop
+only ever *parses and enqueues* — predictions are awaited on executor
+threads, so one slow batch never blocks accepting connections.
+
+Chaos hook sites (``fault_hook``, see
+:mod:`repro.serving.faultinject`): ``"net.accept"`` fires per
+connection before the first read (raise → the connection is dropped),
+``"net.read"`` fires before each request-body read (raise → treated as
+a mid-request disconnect; delay → consumes the read budget, so a long
+enough delay deterministically drives the 408 slow-loris path).
+
+Usage::
+
+    service = ForecastService(pool.get("sthsl.npz"), deadline=5.0).start()
+    with NetworkServer(service, host="127.0.0.1", port=0) as server:
+        print(server.url)                 # http://127.0.0.1:<ephemeral>
+        client = RemoteForecastService(server.url)
+        counts = client.predict(window)
+    service.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from . import rpc
+from .errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    RateLimitedError,
+    ServingError,
+)
+
+__all__ = ["NetworkServer", "TokenBucket"]
+
+#: Extra seconds past a request's deadline the edge keeps waiting for the
+#: worker-side shed to land before answering 504 on its own authority.
+_DEADLINE_GRACE = 5.0
+
+#: Cap on accepted request bodies (bytes); larger posts get 413.
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/sec up to ``burst``.
+
+    The classic traffic-shaping primitive the edge runs per tenant: each
+    request costs one token, tokens refill continuously at ``rate`` per
+    second, and at most ``burst`` accumulate — so a tenant can spike to
+    ``burst`` back-to-back requests but sustains only ``rate``/sec::
+
+        bucket = TokenBucket(rate=100.0, burst=10)
+        if not bucket.allow():
+            raise RateLimitedError("tenant over budget; retry later")
+
+    ``clock`` is injectable (monotonic seconds) so tests step time
+    instead of sleeping.
+    """
+
+    def __init__(self, rate: float, burst: int, *, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/sec, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._denied = 0
+
+    def allow(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; ``False`` means throttle the call."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate
+            )
+            self._refilled_at = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            self._denied += 1
+            return False
+
+    @property
+    def denied(self) -> int:
+        """How many ``allow`` calls this bucket has refused."""
+        with self._lock:
+            return self._denied
+
+
+class NetworkServer:
+    """Asyncio HTTP/1.1 frontend serving ``repro.rpc/v1`` over a backend.
+
+    Runs its event loop on a dedicated daemon thread, so synchronous
+    callers (the CLI, tests, benchmarks) just ``start()``/``stop()`` it;
+    ``port=0`` binds an ephemeral port, published as :attr:`port` /
+    :attr:`url` once :meth:`start` returns::
+
+        with NetworkServer(service, port=0, rate_limit=500.0) as server:
+            remote = RemoteForecastService(server.url)
+            counts = remote.predict(window, deadline=2.0)
+        print(server.stats()["requests"])
+
+    ``rate_limit`` (requests/sec, sustained) and ``rate_burst`` switch on
+    per-tenant token buckets — the tenant is the request's ``tenant``
+    field, with the empty string as the shared anonymous principal.
+    ``read_timeout`` bounds how long one request may spend being read
+    (the slow-loris guard → 408); ``result_timeout`` bounds how long the
+    edge waits for an *un-deadlined* prediction before answering 504.
+    Deadlined requests wait their own budget plus a small grace.
+
+    All request handling runs on the loop thread; predictions are waited
+    on executor threads.  ``start``/``stop`` are owner-thread lifecycle
+    calls (idempotent, not meant to race each other); stop the backing
+    service separately — the edge does not own it.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate_limit: float | None = None,
+        rate_burst: int | None = None,
+        read_timeout: float = 30.0,
+        result_timeout: float = 60.0,
+        model: str | None = None,
+        fault_hook=None,
+    ):
+        if read_timeout <= 0 or result_timeout <= 0:
+            raise ValueError("read_timeout and result_timeout must be > 0 seconds")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be > 0 requests/sec, got {rate_limit}")
+        self.service = service
+        self.host = host
+        self.port = int(port)  # rewritten with the bound port by start()
+        self.rate_limit = rate_limit
+        self.rate_burst = int(rate_burst) if rate_burst is not None else (
+            max(1, int(rate_limit)) if rate_limit is not None else 1
+        )
+        self.read_timeout = read_timeout
+        self.result_timeout = result_timeout
+        self.model = model
+        self._fault_hook = fault_hook
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._serving = False
+        # Edge counters and per-tenant buckets: mutated only on the loop
+        # thread (reads from other threads see a consistent-enough int).
+        self._buckets: dict[str, TokenBucket] = {}
+        self._counters = dict.fromkeys(
+            (
+                "connections",
+                "requests",
+                "predictions",
+                "bad_requests",
+                "rate_limited",
+                "rejected",
+                "read_timeouts",
+                "disconnects",
+                "errors",
+            ),
+            0,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL clients dial, valid once :meth:`start` has returned."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        """Whether the edge is accepting connections."""
+        return self._serving
+
+    def start(self, timeout: float = 10.0) -> "NetworkServer":
+        """Bind, start the loop thread, and return once accepting.
+
+        Idempotent; raises ``RuntimeError`` if the socket cannot be
+        bound within ``timeout`` seconds (the bind error is chained).
+        """
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            try:
+                asyncio.run(self._main(started))
+            except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+                failure.append(exc)
+                started.set()
+
+        self._thread = threading.Thread(target=run, name="network-server", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError(f"network server failed to start within {timeout}s")  # repro: ignore[typed-serving-errors] -- local lifecycle misuse, not a request-path failure callers branch on
+        if failure:
+            raise RuntimeError("network server failed to bind") from failure[0]  # repro: ignore[typed-serving-errors] -- local lifecycle misuse, not a request-path failure callers branch on
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting, cancel open handlers, join the loop thread.
+
+        Idempotent.  The backing service is left running — callers own
+        its lifecycle (stop the service *after* the edge so in-flight
+        handler waits complete instead of timing out).
+        """
+        thread, loop, shutdown = self._thread, self._loop, self._shutdown
+        if thread is None or not thread.is_alive() or loop is None:
+            self._serving = False
+            return
+        self._serving = False
+        try:
+            loop.call_soon_threadsafe(shutdown.set)
+        except RuntimeError:
+            pass  # loop already closed
+        thread.join(timeout)
+
+    def __enter__(self) -> "NetworkServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    async def _main(self, started: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._serving = True
+        started.set()
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            self._serving = False
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Edge counters: connections, requests, throttles, disconnects.
+
+        ``rate_limited`` counts 429s from token buckets, ``rejected``
+        429s from admission-queue overflow, ``read_timeouts`` 408s,
+        ``disconnects`` connections lost mid-request.  Merged into the
+        ``/statz`` payload under ``"edge"``.
+        """
+        snapshot = dict(self._counters)
+        snapshot["tenants"] = len(self._buckets)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Request handling (loop thread)
+    # ------------------------------------------------------------------
+    async def _fault(self, site: str, **info) -> None:
+        # Chaos hook; runs on an executor thread so injected delays
+        # (slow clients, stalled disks) never block the event loop.
+        if self._fault_hook is None:
+            return
+        hook = self._fault_hook
+
+        def fire() -> None:
+            hook(site, **info)
+
+        await asyncio.get_running_loop().run_in_executor(None, fire)
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._counters["connections"] += 1
+        try:
+            await self._fault("net.accept", peer=str(writer.get_extra_info("peername")))
+        except Exception:  # noqa: BLE001 - injected accept fault: drop the connection
+            self._counters["disconnects"] += 1
+            writer.close()
+            return
+        try:
+            while self._serving:
+                if not await self._handle_one(reader, writer):
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled this keep-alive connection
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            self._counters["disconnects"] += 1
+        except Exception:  # noqa: BLE001 - handler bug: close, keep serving others
+            self._counters["errors"] += 1
+        finally:
+            writer.close()
+
+    async def _handle_one(self, reader, writer) -> bool:
+        """Serve one request on a keep-alive connection; False = close it."""
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), self.read_timeout)
+        except asyncio.TimeoutError:
+            return False  # idle keep-alive connection: close quietly
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return False
+        try:
+            method, target, _version = request_line.decode("ascii").split(None, 2)
+        except (UnicodeDecodeError, ValueError):
+            await self._respond(writer, 400, rpc.encode_error(
+                BadRequestError("malformed HTTP request line"))[1])
+            return False
+
+        read_started = asyncio.get_running_loop().time()
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), self.read_timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+            if len(headers) > 128:
+                await self._respond(writer, 400, rpc.encode_error(
+                    BadRequestError("too many request headers"))[1])
+                return False
+
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._respond(writer, 400, rpc.encode_error(
+                BadRequestError("invalid Content-Length"))[1])
+            return False
+        if content_length > _MAX_BODY:
+            status, payload = rpc.encode_error(
+                BadRequestError(f"request body exceeds {_MAX_BODY} bytes")
+            )
+            await self._respond(writer, 413, payload)
+            return False
+
+        body = b""
+        if content_length:
+            try:
+                await self._fault("net.read", target=target, bytes=content_length)
+            except Exception:  # noqa: BLE001 - injected read fault = disconnect
+                self._counters["disconnects"] += 1
+                return False
+            # The injected delay above (a slow client) consumes the same
+            # read budget the real read does, so slow-loris chaos hits
+            # the 408 path deterministically.
+            budget = self.read_timeout - (
+                asyncio.get_running_loop().time() - read_started
+            )
+            if budget <= 0:
+                self._counters["read_timeouts"] += 1
+                _status, payload = rpc.encode_error(
+                    DeadlineExceededError("request body read timed out (slow client)")
+                )
+                await self._respond(writer, 408, payload, close=True)
+                return False
+            try:
+                body = await asyncio.wait_for(reader.readexactly(content_length), budget)
+            except asyncio.TimeoutError:
+                self._counters["read_timeouts"] += 1
+                _status, payload = rpc.encode_error(
+                    DeadlineExceededError("request body read timed out (slow client)")
+                )
+                await self._respond(writer, 408, payload, close=True)
+                return False
+
+        self._counters["requests"] += 1
+        status, payload = await self._dispatch(method, target, body)
+        await self._respond(writer, status, payload)
+        return headers.get("connection", "keep-alive").lower() != "close"
+
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+        target = target.split("?", 1)[0]
+        routes = {"/healthz": "GET", "/statz": "GET",
+                  "/v1/predict": "POST", "/v1/predict_batch": "POST"}
+        expected = routes.get(target)
+        if expected is None:
+            return 404, rpc.encode_error(BadRequestError(f"unknown endpoint {target!r}"))[1]
+        if method != expected:
+            return 405, rpc.encode_error(
+                BadRequestError(f"{target} expects {expected}, got {method}"))[1]
+        try:
+            if target == "/healthz":
+                return 200, rpc.encode_health_response(
+                    getattr(self.service, "running", True), model=self.model
+                )
+            if target == "/statz":
+                stats = self.service.stats().to_dict()
+                stats["edge"] = self.stats()
+                return 200, rpc.encode_stats_response(stats)
+            if target == "/v1/predict":
+                return await self._predict(body)
+            return await self._predict_batch(body)
+        except ServingError as exc:
+            self._count_error(exc)
+            return rpc.encode_error(exc)
+        except Exception as exc:  # noqa: BLE001 - backend failure: typed 500
+            self._counters["errors"] += 1
+            return rpc.encode_error(exc)
+
+    def _count_error(self, exc: ServingError) -> None:
+        if isinstance(exc, RateLimitedError):
+            self._counters["rate_limited"] += 1
+        elif isinstance(exc, BadRequestError):
+            self._counters["bad_requests"] += 1
+        elif type(exc).__name__ == "ServiceOverloadedError":
+            self._counters["rejected"] += 1
+        else:
+            self._counters["errors"] += 1
+
+    def _throttle(self, tenant: str) -> None:
+        if self.rate_limit is None:
+            return
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate_limit, self.rate_burst)
+        if not bucket.allow():
+            raise RateLimitedError(
+                f"tenant {tenant or '<anonymous>'!r} is over its rate budget "
+                f"({self.rate_limit}/s, burst {self.rate_burst}); back off and retry"
+            )
+
+    def _wait_timeout(self, deadline: float | None) -> float:
+        # Deadlined requests wait their own budget plus grace (the worker
+        # shed path answers first); un-deadlined ones get the edge bound.
+        return deadline + _DEADLINE_GRACE if deadline is not None else self.result_timeout
+
+    async def _predict(self, body: bytes) -> tuple[int, dict]:
+        window, deadline, tenant = rpc.decode_predict_request(rpc.loads(body))
+        self._throttle(tenant)
+        handle = self.service.submit(window, deadline=deadline)
+        timeout = self._wait_timeout(deadline)
+        loop = asyncio.get_running_loop()
+
+        def wait():
+            try:
+                return handle.wait(timeout)
+            except DeadlineExceededError:
+                raise
+            except TimeoutError as exc:
+                raise DeadlineExceededError(
+                    f"prediction did not complete within the edge's {timeout:.1f}s bound"
+                ) from exc
+
+        result = await loop.run_in_executor(None, wait)
+        self._counters["predictions"] += 1
+        return 200, rpc.encode_predict_response(
+            result, degraded=handle.degraded, tier=handle.tier
+        )
+
+    async def _predict_batch(self, body: bytes) -> tuple[int, dict]:
+        windows, deadline, tenant = rpc.decode_batch_request(rpc.loads(body))
+        self._throttle(tenant)
+        # One submit burst before any wait, so the batch coalesces in the
+        # service exactly like a local predict_many would.
+        handles = [self.service.submit(w, deadline=deadline) for w in windows]
+        timeout = self._wait_timeout(deadline)
+        loop = asyncio.get_running_loop()
+
+        def wait_all():
+            try:
+                return [h.wait(timeout) for h in handles]
+            except DeadlineExceededError:
+                raise
+            except TimeoutError as exc:
+                raise DeadlineExceededError(
+                    f"batch did not complete within the edge's {timeout:.1f}s bound"
+                ) from exc
+
+        results = await loop.run_in_executor(None, wait_all)
+        self._counters["predictions"] += len(results)
+        return 200, rpc.encode_batch_response(
+            results,
+            degraded=[h.degraded for h in handles],
+            tier=[h.tier for h in handles],
+        )
+
+    async def _respond(self, writer, status: int, payload: dict, *, close: bool = False) -> None:
+        import json
+
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 408: "Request Timeout",
+                  413: "Payload Too Large", 429: "Too Many Requests",
+                  500: "Internal Server Error", 502: "Bad Gateway",
+                  503: "Service Unavailable", 504: "Gateway Timeout"}.get(status, "")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()

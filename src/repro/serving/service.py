@@ -227,6 +227,36 @@ class ServiceStats:
             "worker_deaths": self.worker_deaths,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceStats":
+        """Rebuild a snapshot from :meth:`to_dict` output (inverse, modulo
+        the rounding ``to_dict`` applies).
+
+        Used by :class:`~repro.serving.RemoteForecastService` to turn a
+        ``GET /statz`` payload back into the same type a local
+        ``service.stats()`` call returns.  Extra keys (the network edge
+        merges its own counters in) are ignored; missing counters
+        default to zero::
+
+            stats = ServiceStats.from_dict(json.loads(body)["stats"])
+        """
+        return cls(
+            requests=int(payload.get("requests", 0)),
+            batches=int(payload.get("batches", 0)),
+            mean_batch=float(payload.get("mean_batch", 0.0)),
+            requests_per_sec=float(payload.get("requests_per_sec", 0.0)),
+            latency_mean=float(payload.get("latency_mean_ms", 0.0)) / 1e3,
+            latency_p50=float(payload.get("latency_p50_ms", 0.0)) / 1e3,
+            latency_p95=float(payload.get("latency_p95_ms", 0.0)) / 1e3,
+            shed=int(payload.get("shed", 0)),
+            rejected=int(payload.get("rejected", 0)),
+            degraded=int(payload.get("degraded", 0)),
+            retried=int(payload.get("retried", 0)),
+            broken=int(payload.get("broken", 0)),
+            failed=int(payload.get("failed", 0)),
+            worker_deaths=int(payload.get("worker_deaths", 0)),
+        )
+
 
 class ForecastService:
     """Thread-safe forecast frontend that micro-batches across requests.

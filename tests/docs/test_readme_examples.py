@@ -1,9 +1,11 @@
 """Execute the README quickstart so the docs cannot rot.
 
-Extracts the first ``python`` fenced code block from the top-level
-README and runs it verbatim (in a temporary working directory, against
-the reduced-scale geometry the block itself specifies).  If the public
-API drifts, this test fails before a reader does.
+Extracts every ``python`` fenced code block from the top-level README
+and runs them verbatim in one shared namespace (in a temporary working
+directory, against the reduced-scale geometry the blocks specify) — so
+the network-edge block really serves the quickstart's artifact over a
+live loopback socket.  If the public API drifts, this test fails
+before a reader does.
 """
 
 import re
@@ -41,10 +43,30 @@ def test_quickstart_mentions_the_advertised_flow(quickstart):
         assert symbol in quickstart, f"quickstart no longer shows {symbol}"
 
 
-def test_quickstart_executes_verbatim(quickstart, tmp_path, monkeypatch, capsys):
-    """The README's 60-second quickstart runs end to end as printed."""
-    monkeypatch.chdir(tmp_path)  # the block writes sthsl.npz
-    exec(compile(quickstart, str(README), "exec"), {"__name__": "__readme__"})
+def test_network_block_shows_the_client_sdk():
+    blocks = python_blocks(README.read_text())
+    assert len(blocks) >= 2, "README lost its network-edge python block"
+    for symbol in ("NetworkServer", "RemoteForecastService", "server.url"):
+        assert symbol in blocks[1], f"network block no longer shows {symbol}"
+    text = README.read_text()
+    assert "--listen" in text and "--connect" in text, (
+        "README lost the serve --listen / --connect CLI examples"
+    )
+
+
+def test_quickstart_executes_verbatim(tmp_path, monkeypatch, capsys):
+    """Every README python block runs end to end as printed, in order.
+
+    The blocks share one namespace: the network-edge block serves the
+    artifact the quickstart block saved, through a real loopback
+    socket, and prints the bound URL.
+    """
+    blocks = python_blocks(README.read_text())
+    monkeypatch.chdir(tmp_path)  # the first block writes sthsl.npz
+    namespace = {"__name__": "__readme__"}
+    for block in blocks:
+        exec(compile(block, str(README), "exec"), namespace)
     out = capsys.readouterr().out
     assert "mae" in out  # evaluate() printed overall metrics
     assert (tmp_path / "sthsl.npz").exists()
+    assert "http://127.0.0.1:" in out  # the network block printed server.url

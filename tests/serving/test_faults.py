@@ -26,11 +26,15 @@ from repro.serving import (
     ForecastService,
     InjectedFault,
     ModelPool,
+    NetworkServer,
+    RemoteError,
+    RemoteForecastService,
     RetryPolicy,
     ServingError,
     ShardFailedError,
     ShardRouter,
     WorkerCrashedError,
+    WorkerPool,
     build_fallback_tier,
     corrupt_artifact,
     train_shards,
@@ -397,3 +401,92 @@ class TestChaosInvariant:
                 else:
                     assert isinstance(payload, (ServingError, InjectedFault))
             assert service.running
+
+
+class TestNetworkChaos:
+    """Chaos at the network edge: dropped connections, slow clients,
+    murdered worker processes — driven through the ``net.accept`` /
+    ``net.read`` hook sites and real SIGKILLs.
+
+    The invariant extends across the wire: under any injected network
+    fault, every request terminates with a result or a typed error, the
+    *connection* may die but the *server* never does, and a respawned
+    worker process picks up where the corpse left off.
+    """
+
+    def test_accept_fault_drops_the_connection_not_the_server(self, forecaster):
+        plan = FaultPlan(seed=3).fail("net.accept", nth=1)
+        with ForecastService(forecaster, max_batch=1) as service:
+            with NetworkServer(service, port=0, fault_hook=plan) as server:
+                client = RemoteForecastService(server.url, timeout=10.0)
+                try:
+                    # First connection is dropped before a byte is read.
+                    with pytest.raises(RemoteError):
+                        client.predict(window())
+                    # The client dials a fresh connection; the server is fine.
+                    assert client.predict(window()).shape == (16, 4)
+                finally:
+                    client.stop()
+                assert server.stats()["disconnects"] >= 1
+                assert plan.calls("net.accept") >= 2
+
+    def test_read_fault_is_a_mid_request_disconnect(self, forecaster):
+        plan = FaultPlan(seed=4).fail("net.read", nth=1)
+        with ForecastService(forecaster, max_batch=1) as service:
+            with NetworkServer(service, port=0, fault_hook=plan) as server:
+                client = RemoteForecastService(server.url, timeout=10.0)
+                try:
+                    # Headers are read, then the connection dies mid-body.
+                    with pytest.raises(RemoteError):
+                        client.predict(window())
+                    assert client.predict(window()).shape == (16, 4)
+                finally:
+                    client.stop()
+                assert server.stats()["disconnects"] >= 1
+
+    def test_slow_loris_read_hits_the_deadline(self, forecaster):
+        # The injected delay models a client dribbling its body slower
+        # than the read budget: the edge must answer 408 with a typed
+        # deadline error instead of holding the connection open forever.
+        plan = FaultPlan(seed=5).delay("net.read", 0.6, nth=1)
+        with ForecastService(forecaster, max_batch=1) as service:
+            with NetworkServer(
+                service, port=0, read_timeout=0.2, fault_hook=plan
+            ) as server:
+                client = RemoteForecastService(server.url, timeout=10.0)
+                try:
+                    with pytest.raises(DeadlineExceededError):
+                        client.predict(window())
+                    assert client.predict(window()).shape == (16, 4)
+                finally:
+                    client.stop()
+                assert server.stats()["read_timeouts"] == 1
+
+    def test_worker_process_sigkill_drops_zero_requests(self, artifact, forecaster):
+        import os
+        import signal as _signal
+
+        expected = forecaster.predict(window())
+        with WorkerPool(str(artifact), workers=2, job_timeout=60.0) as pool:
+            with ForecastService(pool, workers=2, max_batch=1) as service:
+                victim = pool._pool[0].process
+                os.kill(victim.pid, _signal.SIGKILL)
+                victim.join(5)
+                # Every request completes correctly: the crashed job is
+                # retried by the service against the respawned worker.
+                results = [service.predict(window(), timeout=60) for _ in range(8)]
+                assert all(np.array_equal(r, expected) for r in results)
+                assert pool.deaths >= 1
+                assert service.running
+
+    def test_dispatch_faults_surface_without_killing_the_pool(self, artifact):
+        # Dispatch call 1 is start()'s warm-up ping, so nth=3 targets the
+        # second predict.
+        plan = FaultPlan(seed=6).fail("workers.dispatch", nth=3)
+        with WorkerPool(str(artifact), workers=1, fault_hook=plan, job_timeout=60.0) as pool:
+            assert pool.predict(window()).shape == (16, 4)
+            with pytest.raises(InjectedFault):
+                pool.predict(window())
+            # The pool survives an injected dispatch failure.
+            assert pool.predict(window()).shape == (16, 4)
+        assert plan.calls("workers.dispatch") == 4

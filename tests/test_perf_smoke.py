@@ -1,8 +1,8 @@
 """Smoke tests for the tracked perf harness (tier-1, < 30 s).
 
 Runs one tiny throughput measurement through the same code path as
-``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v5``
-schema (training + inference + serving + kernels sections), so schema
+``benchmarks/perf/run_all.py`` and validates the ``repro.perf/v6``
+schema (training + inference + serving + kernels + network sections), so schema
 or harness breakage is caught by the default suite rather than at the
 next manual bench run.  Also guards the *committed* ``BENCH_perf.json``
 against regression: if a future bench run lands numbers below the
@@ -83,6 +83,8 @@ def test_perf_smoke(tmp_path):
         serving_max_batch=2,
         serving_workers=(1, 2),
         kernel_channels=8,
+        network_concurrency=2,
+        network_process_workers=1,
     )
 
     validate_perf_payload(payload)
@@ -138,6 +140,20 @@ def test_perf_smoke(tmp_path):
             )
     assert "float16_vs_float32_baseline" in block["serving_dtypes"]["speedups"]
 
+    network = payload["network"]
+    assert network["num_requests"] == 6
+    assert network["concurrency"] == 2
+    assert network["rpc_schema"] == "repro.rpc/v1"
+    # All three deployment shapes are measured on the same workload.
+    assert [e["mode"] for e in network["modes"]] == [
+        "local", "remote", "process_workers",
+    ]
+    assert all(e["requests_per_sec"] > 0 for e in network["modes"])
+    process_entry = next(e for e in network["modes"] if e["mode"] == "process_workers")
+    assert process_entry["workers"] == 1
+    for key in ("remote_vs_local", "process_workers_vs_local"):
+        assert network["speedups"][key] > 0
+
     out = tmp_path / "BENCH_perf.json"
     write_perf_json(payload, out)
     assert json.loads(out.read_text())["schema"] == PERF_SCHEMA
@@ -155,6 +171,8 @@ def test_perf_schema_rejects_malformed():
         validate_perf_payload({"schema": "repro.perf/v3"})  # pre-workers payloads
     with pytest.raises(ValueError, match="regenerate"):
         validate_perf_payload({"schema": "repro.perf/v4"})  # pre-kernels payloads
+    with pytest.raises(ValueError, match="regenerate"):
+        validate_perf_payload({"schema": "repro.perf/v5"})  # pre-network payloads
     with pytest.raises(ValueError):
         validate_perf_payload({"schema": PERF_SCHEMA, "geometry": {}, "training": {}})
     with pytest.raises(ValueError):
