@@ -70,14 +70,14 @@ class STGCN(ForecastModel):
 
     def forward(self, window: np.ndarray) -> Tensor:
         """``(R, W, C)`` history -> ``(R, C)`` prediction (B=1 wrapper)."""
-        window = np.asarray(window)
+        window = nn.as_input(window)
         if window.ndim != 3:
             raise ValueError(f"expected a (R, W, C) window, got shape {window.shape}")
         return self.forward_batch(window[None]).squeeze(0)
 
     def forward_batch(self, windows: np.ndarray) -> Tensor:
         """``(B, R, W, C)`` stacked histories -> ``(B, R, C)`` predictions."""
-        windows = np.asarray(windows)
+        windows = nn.as_input(windows)
         if windows.ndim != 4:
             raise ValueError(f"expected a (B, R, W, C) batch, got shape {windows.shape}")
         # Project categories to hidden channels, then move time innermost.

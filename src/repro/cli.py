@@ -320,13 +320,24 @@ def _cmd_migrate_artifact(args) -> int:
 
 def _cmd_lint(args) -> int:
     """Run the repo-invariant linter; exit 1 on unsuppressed findings."""
-    from .devtools import all_rules, run_lint
+    from .devtools import all_passes, all_rules, run_lint
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}: {rule.description}")
+        for pass_ in all_passes():
+            print(f"{pass_.id} (pass): {pass_.description}")
+            for rule_id, description in sorted(pass_.emits.items()):
+                print(f"  {rule_id}: {description}")
         return 0
-    report = run_lint(root=args.root)
+    checks = None
+    if args.check:
+        checks = [part.strip() for part in args.check.split(",") if part.strip()]
+    try:
+        report = run_lint(root=args.root, checks=checks)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     if args.format == "json":
         print(report.to_json())
     else:
@@ -476,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    p.add_argument(
+        "--check",
+        default=None,
+        metavar="PASS[,PASS]",
+        help="also run semantic passes (e.g. shapes,contracts)",
     )
     p.set_defaults(func=_cmd_lint)
     return parser

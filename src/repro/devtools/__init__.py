@@ -37,9 +37,12 @@ from .lint import (
     FileContext,
     Finding,
     LintReport,
+    Pass,
     Rule,
+    all_passes,
     all_rules,
     lint_paths,
+    register_pass,
     register_rule,
     run_lint,
 )
@@ -56,9 +59,12 @@ __all__ = [
     "Finding",
     "FileContext",
     "LintReport",
+    "Pass",
     "Rule",
+    "all_passes",
     "all_rules",
     "lint_paths",
+    "register_pass",
     "register_rule",
     "run_lint",
     # runtime lock checker

@@ -1,0 +1,316 @@
+"""Drive registered models through the abstract interpreter.
+
+For every :class:`~repro.api.registry.ModelSpec` this module builds the
+real model (concrete parameters — construction is cheap, pure numpy),
+then runs ``forward`` / ``forward_batch`` on an
+:class:`~repro.devtools.check.abstract.AbstractArray` input derived from
+the :class:`~repro.api.registry.ModelGeometry`, under ``nn.no_grad``
+with no arena — the same ambient state the serving path uses.  No
+numerics execute; only shape and dtype semantics.
+
+Checks per (model, geometry, dtype mode):
+
+``shape``
+    ``forward`` on an ``(R, T, C)`` window must yield ``(R, C)``;
+    ``forward_batch`` on ``(B, R, T, C)`` must yield ``(B, R, C)``.
+    Any exception during interpretation (broadcast mismatch, reshape
+    size error, …) is also a shape problem.
+``dtype-leak``
+    In float32 mode, any traced op with a float32 input producing a
+    float64 output — silent promotion that doubles memory traffic on
+    the serving path.  Explicit ``astype`` casts are exempt.
+``broadcast``
+    Two symbolic dims with different expressions aligned by broadcast
+    only because their values coincide on this geometry.
+``capability``
+    ``supports_batching=True`` must be backed by a ``forward_batch``
+    that interprets cleanly at two batch sentinels (symbolic-ness can
+    degrade through concrete state like GRU's initial hidden, so batch
+    scaling is established by re-running at B=3 and B=7); conversely a
+    model shipping ``forward_batch`` must declare the flag.
+``abstraction``
+    The interpreter itself could not follow an op (missing transfer
+    rule, or the model materialises data).  Surfaced rather than
+    swallowed so rule-table gaps are visible.
+
+Float32 mode mirrors ``Forecaster.load``: ``spec.build(...,
+compute_dtype="float32")``, with builders that reject the knob
+(``TypeError``) recorded as a native-dtype skip, not a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ... import nn
+from .abstract import AbstractArray, AbstractionError, Trace
+from .symdim import SymDim, dim_expr
+
+__all__ = [
+    "DEFAULT_GEOMETRIES",
+    "BATCH_SENTINELS",
+    "Problem",
+    "ModelReport",
+    "check_model",
+    "check_registry",
+]
+
+DEFAULT_GEOMETRIES = ((6, 6), (16, 16))
+# Two distinct primes: a forward_batch that hard-codes either batch size
+# (or lets B degrade into another dim) fails at the other sentinel.
+BATCH_SENTINELS = (3, 7)
+
+
+@dataclass
+class Problem:
+    """One semantic finding for a (model, geometry, mode) combination."""
+
+    kind: str  # shape | dtype-leak | broadcast | capability | abstraction
+    model: str
+    geometry: str  # e.g. "6x6"
+    mode: str  # native | float32
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.model} [{self.geometry}, {self.mode}]: {self.message}"
+
+
+@dataclass
+class ModelReport:
+    """Outcome of interpreting one model on one geometry in one mode."""
+
+    model: str
+    geometry: tuple[int, int]
+    mode: str
+    skipped: bool = False
+    skip_reason: str = ""
+    problems: list[Problem] = field(default_factory=list)
+    trace: Trace | None = None
+
+    @property
+    def geometry_label(self) -> str:
+        return f"{self.geometry[0]}x{self.geometry[1]}"
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _prediction_payload(result):
+    """Unwrap a forward result (Tensor or output dataclass) to its array."""
+    payload = getattr(result, "prediction", result)
+    return getattr(payload, "data", payload)
+
+
+def _shape_str(shape) -> str:
+    return "(" + ", ".join(dim_expr(d) for d in shape) + ")"
+
+
+def _check_output(data, expected, report: ModelReport, context: str) -> None:
+    shape = getattr(data, "shape", None)
+    if shape is None:
+        report.problems.append(
+            Problem(
+                "shape",
+                report.model,
+                report.geometry_label,
+                report.mode,
+                f"{context} returned {type(data).__name__}, not an array value",
+            )
+        )
+        return
+    if len(shape) != len(expected) or any(
+        int(a) != int(b) for a, b in zip(shape, expected)
+    ):
+        report.problems.append(
+            Problem(
+                "shape",
+                report.model,
+                report.geometry_label,
+                report.mode,
+                f"{context} output shape {_shape_str(shape)} != expected "
+                f"{_shape_str(expected)}",
+            )
+        )
+    dtype = getattr(data, "dtype", None)
+    if dtype is not None and np.dtype(dtype).kind != "f":
+        report.problems.append(
+            Problem(
+                "shape",
+                report.model,
+                report.geometry_label,
+                report.mode,
+                f"{context} output dtype {np.dtype(dtype).name} is not floating",
+            )
+        )
+
+
+def _interpret(report: ModelReport, context: str, fn, x, expected) -> bool:
+    """Run one abstract forward, folding failures into the report."""
+    try:
+        with nn.no_grad():
+            result = fn(x)
+    except AbstractionError as exc:
+        report.problems.append(
+            Problem(
+                "abstraction",
+                report.model,
+                report.geometry_label,
+                report.mode,
+                f"{context}: {exc}",
+            )
+        )
+        return False
+    except Exception as exc:  # shape/reshape/broadcast errors from transfer rules
+        report.problems.append(
+            Problem(
+                "shape",
+                report.model,
+                report.geometry_label,
+                report.mode,
+                f"{context} failed under abstract interpretation: {exc}",
+            )
+        )
+        return False
+    _check_output(_prediction_payload(result), expected, report, context)
+    return True
+
+
+def _scan_trace(report: ModelReport, trace: Trace) -> None:
+    if report.mode == "float32":
+        seen: set[tuple] = set()
+        for op in trace.ops:
+            if op.note == "astype":
+                continue
+            if op.output[0] != "float64":
+                continue
+            if not any(dtype == "float32" for dtype, _ in op.inputs):
+                continue
+            ins = ", ".join(
+                f"{dtype}[{', '.join(shape)}]" for dtype, shape in op.inputs
+            )
+            key = (op.op, tuple(i[0] for i in op.inputs))
+            if key in seen:
+                continue
+            seen.add(key)
+            report.problems.append(
+                Problem(
+                    "dtype-leak",
+                    report.model,
+                    report.geometry_label,
+                    report.mode,
+                    f"op {op.op}({ins}) promotes to float64 in float32 mode",
+                )
+            )
+    for surprise in trace.surprises:
+        report.problems.append(
+            Problem(
+                "broadcast",
+                report.model,
+                report.geometry_label,
+                report.mode,
+                f"op {surprise['op']} broadcasts {surprise['left']} against "
+                f"{surprise['right']} — equal ({surprise['value']}) on this "
+                "geometry only by coincidence",
+            )
+        )
+
+
+def check_model(spec, geometry, *, window: int = 8, hidden: int = 8,
+                mode: str = "native") -> ModelReport:
+    """Interpret one registered model abstractly on one geometry."""
+    report = ModelReport(spec.name, (geometry.rows, geometry.cols), mode)
+    overrides = {} if mode == "native" else {"compute_dtype": "float32"}
+    try:
+        model = spec.build(geometry, window, hidden=hidden, seed=0, **overrides)
+    except TypeError:
+        if mode == "float32":
+            # Mirrors Forecaster.load: the builder has no dtype knob, the
+            # model serves at native dtype — nothing to check in f32 mode.
+            report.skipped = True
+            report.skip_reason = "builder does not accept compute_dtype"
+            return report
+        raise
+    model.eval()
+
+    R = SymDim(geometry.num_regions, "R")
+    T = SymDim(window, "T")
+    C = SymDim(geometry.num_categories, "C")
+
+    trace = Trace()
+    report.trace = trace
+    x = AbstractArray((R, T, C), np.float64, trace)
+    _interpret(report, "forward", model.forward, x, (R, C))
+
+    forward_batch = getattr(model, "forward_batch", None)
+    if mode == "native":
+        if spec.supports_batching and forward_batch is None:
+            report.problems.append(
+                Problem(
+                    "capability",
+                    report.model,
+                    report.geometry_label,
+                    report.mode,
+                    "supports_batching=True but the model has no forward_batch",
+                )
+            )
+        elif not spec.supports_batching and forward_batch is not None:
+            report.problems.append(
+                Problem(
+                    "capability",
+                    report.model,
+                    report.geometry_label,
+                    report.mode,
+                    "model implements forward_batch but the spec declares "
+                    "supports_batching=False",
+                )
+            )
+    if forward_batch is not None:
+        for sentinel in BATCH_SENTINELS:
+            B = SymDim(sentinel, "B")
+            xb = AbstractArray((B, R, T, C), np.float64, trace)
+            before = len(report.problems)
+            _interpret(
+                report, f"forward_batch(B={sentinel})", forward_batch, xb, (B, R, C)
+            )
+            if spec.supports_batching:
+                # Reclassify: a broken batch path falsifies the flag.
+                for problem in report.problems[before:]:
+                    if problem.kind in ("shape", "abstraction"):
+                        problem.kind = "capability"
+                        problem.message = (
+                            "supports_batching=True is not honoured: "
+                            + problem.message
+                        )
+    _scan_trace(report, trace)
+    return report
+
+
+def check_registry(
+    names=None,
+    *,
+    geometries=DEFAULT_GEOMETRIES,
+    window: int = 8,
+    hidden: int = 8,
+    modes=("native", "float32"),
+    num_categories: int = 4,
+) -> list[ModelReport]:
+    """Interpret every registered model on every geometry and mode."""
+    from ...api.registry import REGISTRY, ModelGeometry
+
+    reports = []
+    for name in names if names is not None else REGISTRY.names():
+        spec = REGISTRY.spec(name)
+        for rows, cols in geometries:
+            geometry = ModelGeometry(
+                rows=rows, cols=cols, num_categories=num_categories
+            )
+            for mode in modes:
+                reports.append(
+                    check_model(
+                        spec, geometry, window=window, hidden=hidden, mode=mode
+                    )
+                )
+    return reports

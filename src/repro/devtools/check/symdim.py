@@ -1,0 +1,151 @@
+"""Symbolic dimensions for the abstract shape interpreter.
+
+A :class:`SymDim` is an ``int`` subclass that carries a symbolic
+expression alongside its concrete value.  The interpreter substitutes a
+concrete geometry into the symbol vocabulary up front (``R = rows*cols``,
+``T`` = window length, ``C`` = categories, ``B`` = a sentinel batch
+size), so every dimension always *has* a value — model code can call
+``np.zeros((n, h))``, ``range(t)`` or ``reshape(b, -1)`` on it and numpy
+sees an ordinary integer — while the expression rides along for
+diagnostics (``shape (B, R, C)`` instead of ``shape (3, 36, 4)``) and
+for the broadcast-coincidence check (two dims that are equal *by value*
+but carry different symbols).
+
+Symbol vocabulary (the ``B/R/T/C/W`` algebra):
+
+==========  ====================================================
+``B``       batch size (a sentinel prime; see ``interpret``)
+``R``       number of regions, ``rows * cols``
+``T``       window length in time steps (a.k.a. ``W`` in the
+            ``(R, W, C)`` interface docs)
+``C``       number of crime categories
+``W``/``H`` grid columns / rows (``R = H*W``)
+==========  ====================================================
+
+Arithmetic between two ``SymDim``\\ s (or a ``SymDim`` and an ``int``)
+produces a ``SymDim`` whose expression records the computation::
+
+    >>> R = SymDim(36, "R")
+    >>> R * 4
+    R*4
+    >>> (R * 4) // 2 + 1
+    R*4//2+1
+
+Equality and hashing are inherited from ``int`` (by value), so SymDims
+index dicts, memoised caches and numpy shape tuples exactly like the
+integers they stand for.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SymDim", "dim_expr", "expr_symbols"]
+
+
+def dim_expr(value) -> str:
+    """The symbolic expression of a dimension (its repr for plain ints)."""
+    if isinstance(value, SymDim):
+        return value.expr
+    return repr(int(value))
+
+
+def expr_symbols(expr: str) -> frozenset[str]:
+    """The set of symbols (alphabetic tokens) appearing in an expression.
+
+    Two dims derived from the *same* symbols (``T`` vs ``(T+2-3)//1+1``)
+    are equal by construction wherever they coincide — e.g. a
+    'same'-padded conv output added back to its input.  Dims built from
+    *different* symbols that happen to be equal on one geometry are the
+    broadcast coincidences worth flagging.
+    """
+    symbols = set()
+    token = ""
+    for ch in expr:
+        if ch.isalpha() or ch == "_":
+            token += ch
+        elif token:
+            symbols.add(token)
+            token = ""
+    if token:
+        symbols.add(token)
+    return frozenset(symbols)
+
+
+def _grouped(value, tight: bool = False) -> str:
+    """Operand expression, parenthesised when embedding needs it."""
+    expr = dim_expr(value)
+    if tight and any(ch in expr[1:] for ch in "+-*/%"):
+        return f"({expr})"
+    return expr
+
+
+def _wrap(value: int, expr: str) -> "SymDim":
+    out = SymDim(value)
+    out.expr = expr
+    return out
+
+
+class SymDim(int):
+    """An integer dimension annotated with a symbolic expression."""
+
+    expr: str
+
+    def __new__(cls, value: int, expr: str | None = None) -> "SymDim":
+        out = super().__new__(cls, value)
+        out.expr = repr(int(value)) if expr is None else expr
+        return out
+
+    @property
+    def symbolic(self) -> bool:
+        """Whether this dim carries a non-literal expression."""
+        return self.expr != repr(int(self))
+
+    def __repr__(self) -> str:
+        return self.expr
+
+    __str__ = __repr__
+
+    # -- arithmetic: combine values and expressions --------------------
+    # Only the operations shape code actually performs are symbolic;
+    # anything else falls back to int semantics (returning a plain int).
+    def __add__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(self) + int(other), f"{self.expr}+{dim_expr(other)}")
+        return NotImplemented
+
+    def __radd__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(other) + int(self), f"{dim_expr(other)}+{self.expr}")
+        return NotImplemented
+
+    def __sub__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(self) - int(other), f"{self.expr}-{_grouped(other, tight=True)}")
+        return NotImplemented
+
+    def __rsub__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(other) - int(self), f"{dim_expr(other)}-{_grouped(self, tight=True)}")
+        return NotImplemented
+
+    def __mul__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(self) * int(other), f"{_grouped(self, tight=True)}*{_grouped(other, tight=True)}")
+        return NotImplemented
+
+    def __rmul__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(other) * int(self), f"{_grouped(other, tight=True)}*{_grouped(self, tight=True)}")
+        return NotImplemented
+
+    def __floordiv__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(self) // int(other), f"{_grouped(self, tight=True)}//{_grouped(other, tight=True)}")
+        return NotImplemented
+
+    def __mod__(self, other):
+        if isinstance(other, int):
+            return _wrap(int(self) % int(other), f"{_grouped(self, tight=True)}%{_grouped(other, tight=True)}")
+        return NotImplemented
+
+    def __neg__(self):
+        return _wrap(-int(self), f"-{self.expr}")

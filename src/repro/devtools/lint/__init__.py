@@ -17,12 +17,15 @@ from .engine import (
     FileContext,
     Finding,
     LintReport,
+    Pass,
     Rule,
     Suppression,
+    all_passes,
     all_rules,
     default_root,
     lint_file,
     lint_paths,
+    register_pass,
     register_rule,
     run_lint,
 )
@@ -32,8 +35,11 @@ __all__ = [
     "Suppression",
     "FileContext",
     "Rule",
+    "Pass",
     "register_rule",
+    "register_pass",
     "all_rules",
+    "all_passes",
     "default_root",
     "lint_file",
     "lint_paths",

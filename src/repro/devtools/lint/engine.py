@@ -35,9 +35,13 @@ __all__ = [
     "Suppression",
     "FileContext",
     "Rule",
+    "Pass",
     "register_rule",
+    "register_pass",
     "all_rules",
+    "all_passes",
     "known_rule_ids",
+    "known_pass_rule_ids",
     "lint_paths",
     "lint_file",
     "run_lint",
@@ -181,7 +185,59 @@ class Rule:
         raise NotImplementedError
 
 
+class Pass:
+    """Base class for one whole-tree semantic analysis pass.
+
+    Where a :class:`Rule` checks one parsed file at a time, a pass sees
+    the entire tree (and may build/interpret real package objects — the
+    shape checker drives every registered model abstractly; the contract
+    checker cross-references wire/CLI/docs surfaces).  Passes are opt-in:
+    ``run_lint(checks=["shapes"])`` / ``repro lint --check shapes``.
+
+    Subclasses set ``id`` (the check name used with ``--check``),
+    ``description``, ``hint`` (default fix suggestion) and ``emits`` — a
+    mapping of every finding rule id the pass can produce to its
+    one-line description — then implement :meth:`run`::
+
+        @register_pass
+        class MyPass(Pass):
+            id = "shapes"
+            emits = {"model-shape-contract": "..."}
+
+            def run(self, root):
+                yield Finding(rule="model-shape-contract", ...)
+
+    Findings in scanned ``.py`` files take part in the normal
+    suppression mechanics; findings anchored outside the lint root
+    (docs, fixtures, bench JSON) are reported as-is and cannot be
+    comment-suppressed.
+    """
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+    emits: dict[str, str] = {}
+
+    def run(self, root: Path) -> Iterable[Finding]:
+        """Yield this pass's findings for the tree under ``root`` (override)."""
+        raise NotImplementedError
+
+    def finding(self, rule: str, path: str, line: int, message: str,
+                hint: str | None = None) -> Finding:
+        """Build a :class:`Finding` for this pass (``rule`` must be in ``emits``)."""
+        if rule not in self.emits:
+            raise ValueError(f"pass {self.id!r} does not declare rule {rule!r}")
+        return Finding(
+            rule=rule,
+            path=path,
+            line=line,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
 _RULES: dict[str, Rule] = {}
+_PASSES: dict[str, Pass] = {}
 
 
 def register_rule(rule_cls: type[Rule]) -> type[Rule]:
@@ -204,6 +260,19 @@ def register_rule(rule_cls: type[Rule]) -> type[Rule]:
     return rule_cls
 
 
+def register_pass(pass_cls: type[Pass]) -> type[Pass]:
+    """Class decorator adding a semantic pass to the engine registry."""
+    pass_ = pass_cls()
+    if not pass_.id:
+        raise ValueError(f"{pass_cls.__name__} must set a pass id")
+    if pass_.id in _PASSES:
+        raise ValueError(f"duplicate pass id {pass_.id!r}")
+    if not pass_.emits:
+        raise ValueError(f"pass {pass_.id!r} must declare its emitted rule ids")
+    _PASSES[pass_.id] = pass_
+    return pass_cls
+
+
 def all_rules() -> tuple[Rule, ...]:
     """Every registered rule, sorted by id (imports the rule modules).
 
@@ -217,9 +286,28 @@ def all_rules() -> tuple[Rule, ...]:
     return tuple(_RULES[rule_id] for rule_id in sorted(_RULES))
 
 
+def all_passes() -> tuple[Pass, ...]:
+    """Every registered semantic pass, sorted by id."""
+    from . import passes  # noqa: F401 - importing populates the registry
+
+    return tuple(_PASSES[pass_id] for pass_id in sorted(_PASSES))
+
+
+def known_pass_rule_ids() -> frozenset:
+    """Every finding rule id any registered pass can emit."""
+    ids: set[str] = set()
+    for pass_ in all_passes():
+        ids.update(pass_.emits)
+    return frozenset(ids)
+
+
 def known_rule_ids() -> frozenset:
     """All suppressible rule ids plus the engine's own diagnostic ids."""
-    return frozenset(rule.id for rule in all_rules()) | frozenset(ENGINE_RULES)
+    return (
+        frozenset(rule.id for rule in all_rules())
+        | known_pass_rule_ids()
+        | frozenset(ENGINE_RULES)
+    )
 
 
 def default_root() -> Path:
@@ -260,9 +348,21 @@ def _parse_suppressions(source: str) -> list[Suppression]:
 
 
 def lint_file(
-    path: Path, root: Path, rules: Iterable[Rule] | None = None
+    path: Path,
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+    *,
+    extra: Iterable[Finding] = (),
+    active_pass_rule_ids: frozenset = frozenset(),
 ) -> list[Finding]:
     """Lint one file: rule findings merged with its suppression comments.
+
+    ``extra`` carries pass findings pre-computed for this file so they
+    share the suppression mechanics; ``active_pass_rule_ids`` names the
+    pass-emitted rule ids whose producer actually ran this invocation —
+    suppressions naming *inactive* pass rules are exempt from the
+    stale-suppression audit (staleness cannot be judged when the pass
+    that would match them was not run).
 
     Returns every finding — suppressed ones are included with
     ``suppressed=True`` so reports can show what is being silenced::
@@ -291,6 +391,7 @@ def lint_file(
     for rule in chosen:
         if rule.applies_to(relpath):
             raw.extend(rule.check(ctx))
+    raw.extend(extra)
 
     suppressions = _parse_suppressions(ctx.source)
     by_line: dict[int, list[Suppression]] = {}
@@ -322,6 +423,7 @@ def lint_file(
         findings.append(finding)
 
     known = known_rule_ids()
+    pass_rule_ids = known_pass_rule_ids()
     for suppression in suppressions:
         if not suppression.reason:
             findings.append(
@@ -354,6 +456,10 @@ def lint_file(
                         hint="fix the underlying suppression instead",
                     )
                 )
+            elif rule_id in pass_rule_ids and rule_id not in active_pass_rule_ids:
+                # The pass that emits this rule did not run in this
+                # invocation, so staleness cannot be judged.
+                continue
             elif (suppression.line, rule_id) not in matched:
                 findings.append(
                     Finding(
@@ -386,6 +492,7 @@ class LintReport:
     root: str
     files_scanned: int
     findings: list[Finding] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
 
     @property
     def unsuppressed(self) -> list[Finding]:
@@ -403,12 +510,16 @@ class LintReport:
 
     def to_json(self) -> str:
         """The whole report as a JSON document (schema ``repro.lint/v1``)."""
+        rules = {rule.id: rule.description for rule in all_rules()}
+        for pass_ in all_passes():
+            rules.update(pass_.emits)
         return json.dumps(
             {
                 "schema": "repro.lint/v1",
                 "root": self.root,
                 "files_scanned": self.files_scanned,
-                "rules": {rule.id: rule.description for rule in all_rules()},
+                "checks": self.checks,
+                "rules": rules,
                 "findings": [f.to_dict() for f in self.findings],
                 "summary": {
                     "total": len(self.findings),
@@ -439,21 +550,70 @@ class LintReport:
 
 
 def run_lint(
-    root: Path | str | None = None, rules: Iterable[Rule] | None = None
+    root: Path | str | None = None,
+    rules: Iterable[Rule] | None = None,
+    checks: Iterable[str] | None = None,
 ) -> LintReport:
     """Lint every python file under ``root`` (default: the repro package).
+
+    ``checks`` opts into the semantic passes by id (``"shapes"``,
+    ``"contracts"``); the default ``None`` runs only the per-file rules,
+    preserving the PR 7 behaviour.  Pass findings inside scanned files
+    share the suppression mechanics; findings anchored elsewhere (docs,
+    fixtures, bench JSON) are reported as-is.
 
     The one-call entry point the CLI, CI and the ``lint_smoke`` tests all
     use::
 
-        report = run_lint()
+        report = run_lint(checks=["shapes", "contracts"])
         assert report.exit_code() == 0, report.render_text()
     """
     root = Path(root) if root is not None else default_root()
     chosen = tuple(rules) if rules is not None else all_rules()
+
+    active_passes: tuple[Pass, ...] = ()
+    if checks is not None:
+        registry = {pass_.id: pass_ for pass_ in all_passes()}
+        missing = [name for name in checks if name not in registry]
+        if missing:
+            raise ValueError(
+                f"unknown check(s) {', '.join(sorted(missing))!s}; "
+                f"available: {', '.join(sorted(registry))}"
+            )
+        active_passes = tuple(registry[name] for name in checks)
+    active_pass_rule_ids = frozenset(
+        rule_id for pass_ in active_passes for rule_id in pass_.emits
+    )
+
+    pass_findings_by_path: dict[str, list[Finding]] = {}
+    for pass_ in active_passes:
+        for finding in pass_.run(root):
+            pass_findings_by_path.setdefault(finding.path, []).append(finding)
+
     findings: list[Finding] = []
     files = lint_paths(root)
+    scanned_relpaths = set()
     for path in files:
-        findings.extend(lint_file(path, root, chosen))
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        scanned_relpaths.add(relpath)
+        findings.extend(
+            lint_file(
+                path,
+                root,
+                chosen,
+                extra=pass_findings_by_path.get(relpath, ()),
+                active_pass_rule_ids=active_pass_rule_ids,
+            )
+        )
+    for relpath, extras in pass_findings_by_path.items():
+        if relpath not in scanned_relpaths:
+            # Anchored outside the scanned tree (docs/fixtures/bench
+            # JSON): no comment-suppression surface, reported directly.
+            findings.extend(extras)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return LintReport(root=str(root), files_scanned=len(files), findings=findings)
+    return LintReport(
+        root=str(root),
+        files_scanned=len(files),
+        findings=findings,
+        checks=[pass_.id for pass_ in active_passes],
+    )

@@ -1,0 +1,103 @@
+"""The ``shapes`` pass: abstract interpretation of every registered model.
+
+Drives :func:`repro.devtools.check.check_registry` — every
+:class:`~repro.api.registry.ModelSpec` interpreted on the 6x6 and 16x16
+(paper-scale) geometries in both native and float32 dtype modes — and
+converts semantic problems into lint findings anchored at the model's
+``@REGISTRY.register(...)`` line, where the contract (name + capability
+flags) is declared.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..engine import Finding, Pass, register_pass
+
+__all__ = ["ShapeCheckPass", "registration_lines"]
+
+#: interpreter problem kind -> lint finding rule id
+_KIND_TO_RULE = {
+    "shape": "model-shape-contract",
+    "abstraction": "model-shape-contract",
+    "dtype-leak": "dtype-promotion-leak",
+    "broadcast": "broadcast-surprise",
+    "capability": "capability-flag-drift",
+}
+
+_NAME_RE = re.compile(r'"([^"]+)"')
+
+
+def registration_lines(root: Path) -> tuple[str, dict[str, int]]:
+    """Map registered model names to their ``@REGISTRY.register`` lines.
+
+    Returns ``(relpath, {name: line})``.  Decorator calls may carry the
+    name on the decorator line or (black-wrapped) on the next line.
+    Falls back to the installed package when the lint root has no
+    ``api/registry.py`` (e.g. linting a test tree).
+    """
+    relpath = "api/registry.py"
+    path = Path(root) / relpath
+    if not path.is_file():
+        from ..engine import default_root
+
+        path = default_root() / relpath
+    lines = path.read_text(encoding="utf-8").splitlines()
+    anchors: dict[str, int] = {}
+    for i, line in enumerate(lines):
+        if "@REGISTRY.register" not in line:
+            continue
+        match = _NAME_RE.search(line) or (
+            _NAME_RE.search(lines[i + 1]) if i + 1 < len(lines) else None
+        )
+        if match:
+            anchors.setdefault(match.group(1), i + 1)
+    return relpath, anchors
+
+
+@register_pass
+class ShapeCheckPass(Pass):
+    """Statically verify every model's shape/dtype contract."""
+
+    id = "shapes"
+    description = (
+        "abstract shape/dtype interpretation of every registered model on "
+        "the 6x6 and 16x16 geometries in native and float32 modes"
+    )
+    hint = (
+        "run `python -m repro.cli lint --check shapes` locally; the message "
+        "carries the symbolic shapes involved"
+    )
+    emits = {
+        "model-shape-contract": (
+            "a model's forward/forward_batch violates the (R, C) / (B, R, C) "
+            "output contract under abstract interpretation"
+        ),
+        "dtype-promotion-leak": (
+            "an op in a float32-mode forward pass silently promotes to "
+            "float64"
+        ),
+        "broadcast-surprise": (
+            "a broadcast aligns dims derived from different symbols that are "
+            "equal only by numeric coincidence on one geometry"
+        ),
+        "capability-flag-drift": (
+            "a ModelSpec capability flag disagrees with what the model "
+            "actually implements"
+        ),
+    }
+
+    def run(self, root: Path):
+        from ...check import check_registry
+
+        relpath, anchors = registration_lines(root)
+        for report in check_registry():
+            for problem in report.problems:
+                yield Finding(
+                    rule=_KIND_TO_RULE[problem.kind],
+                    path=relpath,
+                    line=anchors.get(problem.model, 1),
+                    message=problem.describe(),
+                    hint=self.hint,
+                )

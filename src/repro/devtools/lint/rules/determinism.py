@@ -14,7 +14,13 @@ The rule flags calls that introduce hidden nondeterminism:
   ``RandomState()`` constructed *without* a seed;
 * wall-clock reads: ``time.time()``/``time.time_ns()`` and
   ``datetime.now()``-family calls (``time.monotonic`` and
-  ``time.perf_counter`` are fine — they measure, they don't decide).
+  ``time.perf_counter`` are fine — they measure, they don't decide);
+* OS-entropy sources, the idioms network code reaches for to mint
+  request ids and tokens: ``random.Random()`` constructed *without* a
+  seed (it seeds from the OS), ``uuid.uuid1()``/``uuid.uuid4()``,
+  ``os.urandom()``, and anything from the ``secrets`` module.  Request
+  ids in this repo are sequence numbers, not entropy — the fault
+  harness replays schedules keyed on them.
 """
 
 from __future__ import annotations
@@ -53,6 +59,9 @@ _SEEDABLE_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator", "
 _WALL_CLOCK_TIME = frozenset({"time", "time_ns"})
 _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
 
+#: uuid constructors backed by OS entropy (uuid3/uuid5 hash their input).
+_ENTROPY_UUIDS = frozenset({"uuid1", "uuid4"})
+
 
 def _attr_chain(node: ast.AST) -> list[str]:
     parts: list[str] = []
@@ -75,6 +84,11 @@ class NoNondeterminismInHotPath(Rule):
         rng = np.random.default_rng(seed)     # ok
         started = time.time()                 # FLAGGED: wall clock
         started = time.perf_counter()         # ok: measurement only
+        rng = random.Random()                 # FLAGGED: seeds from the OS
+        rng = random.Random(seed)             # ok
+        request_id = uuid.uuid4()             # FLAGGED: OS entropy
+        token = secrets.token_hex(8)          # FLAGGED: OS entropy
+        salt = os.urandom(16)                 # FLAGGED: OS entropy
     """
 
     id = "no-nondeterminism-in-hot-path"
@@ -102,6 +116,35 @@ class NoNondeterminismInHotPath(Rule):
                     node,
                     f"random.{leaf}() draws from the process-global RNG "
                     "(unreplayable and cross-thread shared)",
+                )
+            elif root == "random" and len(chain) == 2 and leaf == "Random":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "random.Random() without a seed initialises from OS "
+                        "entropy; pass an explicit seed",
+                    )
+            elif root == "uuid" and len(chain) == 2 and leaf in _ENTROPY_UUIDS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"uuid.{leaf}() mints ids from OS entropy; use a "
+                    "deterministic sequence number instead",
+                )
+            elif root == "os" and len(chain) == 2 and leaf == "urandom":
+                yield ctx.finding(
+                    self,
+                    node,
+                    "os.urandom() reads OS entropy; derive bytes from a "
+                    "seeded generator instead",
+                )
+            elif root == "secrets":
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"secrets.{leaf}() is a CSPRNG draw — unreplayable by "
+                    "design; hot paths must not depend on it",
                 )
             elif root in ("np", "numpy") and len(chain) >= 3 and chain[1] == "random":
                 if leaf in _SEEDABLE_CONSTRUCTORS:

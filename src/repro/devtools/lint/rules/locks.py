@@ -6,7 +6,13 @@ class creates its lock(s) in ``__init__`` (``self._lock``,
 happens inside ``with self.<lock>:``.  The stress suites only catch a
 violation when a race actually fires; this rule catches the *pattern* —
 any ``self.<attr>`` assignment in a method of a lock-owning class that
-is not lexically inside a ``with`` on one of the class's locks.
+is not lexically inside a ``with`` on one of the class's locks.  A
+"write" includes mutating *through* the attribute — subscript stores
+(``self._counters[k] += 1``, the network-edge counter idiom) and
+``del self._cache[k]`` — not just rebinding it.  Lock factories are
+matched by name (``Lock``/``RLock``/``Condition``), so
+``asyncio.Lock()`` in the async edge counts the same as
+``threading.Lock()``.
 
 Two sanctioned escapes:
 
@@ -58,6 +64,8 @@ def _write_targets(node: ast.stmt) -> list[ast.expr]:
         targets = list(node.targets)
     elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
         targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
     else:
         return []
     flat: list[ast.expr] = []
@@ -67,6 +75,20 @@ def _write_targets(node: ast.stmt) -> list[ast.expr]:
         else:
             flat.append(target)
     return flat
+
+
+def _written_attr(target: ast.expr) -> str | None:
+    """The ``self.<attr>`` a write target mutates, seeing through subscripts.
+
+    ``self._counters[key] += 1`` and ``del self._cache[key]`` mutate the
+    container held by the attribute just as surely as ``self.x = ...``
+    rebinds it — the network-edge counter pattern this extension was
+    seeded with.  Chained subscripts (``self._m[a][b] = v``) unwrap to
+    the root attribute.
+    """
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    return _self_attr(target)
 
 
 @register_rule
@@ -130,7 +152,7 @@ class LockDiscipline(Rule):
                     yield from visit(child, holds)
                 return
             for target in _write_targets(node) if isinstance(node, ast.stmt) else ():
-                attr = _self_attr(target)
+                attr = _written_attr(target)
                 if attr is not None and attr not in locks and not guarded:
                     yield ctx.finding(
                         self,

@@ -41,6 +41,7 @@ from .serialization import (
 )
 from .tensor import (
     Tensor,
+    as_input,
     concatenate,
     dtype_scope,
     get_default_dtype,
@@ -58,6 +59,7 @@ __all__ = [
     "set_default_dtype",
     "get_default_dtype",
     "dtype_scope",
+    "as_input",
     "concatenate",
     "stack",
     "where",

@@ -204,6 +204,17 @@ def conv2d(
     -------
     Tensor of shape ``(N, C_out, H_out, W_out)``.
     """
+    transfer = getattr(x.data, "__conv2d_transfer__", None)
+    if transfer is not None:
+        # Abstract shape checking: the transfer rule restates the output
+        # geometry shared by all kernels.py strategies.  It must run
+        # before any concrete geometry math so symbolic dims never reach
+        # the lru-cached index builders.
+        return Tensor._from_array(
+            transfer(
+                weight.data, None if bias is None else bias.data, stride, padding
+            )
+        )
     stride = _pair(stride)
     ph, pw = _pair(padding)
     n, c_in, h, w = x.shape
@@ -398,6 +409,17 @@ def conv1d(
         Spacing between kernel taps; dilated causal convolutions are the
         temporal mechanism in the Graph WaveNet baseline.
     """
+    transfer = getattr(x.data, "__conv1d_transfer__", None)
+    if transfer is not None:
+        return Tensor._from_array(
+            transfer(
+                weight.data,
+                None if bias is None else bias.data,
+                stride,
+                padding,
+                dilation,
+            )
+        )
     n, c_in, length = x.shape
     c_out, c_in_w, k = weight.shape
     if c_in != c_in_w:

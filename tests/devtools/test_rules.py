@@ -294,3 +294,98 @@ def test_all_export_private_and_imported_names_pass(tmp_path):
     )
     hits = _rules_hit(tmp_path)
     assert not any(rule == "all-export-consistency" for rule, _ in hits)
+
+
+def test_lock_discipline_subscript_write_through_attribute(tmp_path):
+    # The network-edge counter idiom: mutating the dict the attribute
+    # holds is a write, the same as rebinding the attribute.
+    _plant(
+        tmp_path,
+        "serving/edge.py",
+        """
+        import threading
+
+        class Edge:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._counters = {"requests": 0}
+                self._cache = {}
+
+            def hit(self):
+                self._counters["requests"] += 1
+
+            def evict(self, key):
+                del self._cache[key]
+        """,
+    )
+    report = run_lint(root=tmp_path)
+    lines = sorted(
+        f.line for f in report.unsuppressed if f.rule == "lock-discipline"
+    )
+    assert len(lines) == 2, report.render_text()
+
+
+def test_lock_discipline_guarded_subscript_and_asyncio_lock_pass(tmp_path):
+    _plant(
+        tmp_path,
+        "serving/edge.py",
+        """
+        import asyncio
+
+        class Edge:
+            def __init__(self):
+                self._lock = asyncio.Lock()
+                self._counters = {"requests": 0}
+
+            async def hit(self):
+                async with self._lock:
+                    self._counters["requests"] += 1
+        """,
+    )
+    hits = _rules_hit(tmp_path)
+    assert not any(rule == "lock-discipline" for rule, _ in hits)
+
+
+def test_no_nondeterminism_os_entropy_sources(tmp_path):
+    _plant(
+        tmp_path,
+        "serving/ids.py",
+        """
+        import os
+        import random
+        import secrets
+        import uuid
+
+        def mint():
+            rng = random.Random()
+            return uuid.uuid4(), secrets.token_hex(8), os.urandom(16), rng
+        """,
+    )
+    report = run_lint(root=tmp_path)
+    messages = [
+        f.message
+        for f in report.unsuppressed
+        if f.rule == "no-nondeterminism-in-hot-path"
+    ]
+    assert len(messages) == 4, report.render_text()
+    assert any("random.Random() without a seed" in m for m in messages)
+    assert any("uuid.uuid4()" in m for m in messages)
+    assert any("secrets.token_hex()" in m for m in messages)
+    assert any("os.urandom()" in m for m in messages)
+
+
+def test_no_nondeterminism_seeded_random_and_hashing_uuids_pass(tmp_path):
+    _plant(
+        tmp_path,
+        "serving/ids.py",
+        """
+        import random
+        import uuid
+
+        def mint(seed, ns, name):
+            rng = random.Random(seed)
+            return uuid.uuid5(ns, name), rng.random()
+        """,
+    )
+    hits = _rules_hit(tmp_path)
+    assert not any(rule == "no-nondeterminism-in-hot-path" for rule, _ in hits)
